@@ -1,0 +1,41 @@
+# ParaCrash-Go development targets. Everything is stdlib Go; no network or
+# host file-system access is needed.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/exps/ .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/experiments -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/customworkload
+	$(GO) run ./examples/custompfs
+	$(GO) run ./examples/models
+	$(GO) run ./examples/hdf5workflow
+
+# Short fuzzing session over the HDF5 parser.
+fuzz:
+	$(GO) test ./internal/hdf5/ -fuzz FuzzParse -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

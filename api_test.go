@@ -1,0 +1,99 @@
+package paracrash_test
+
+import (
+	"strings"
+	"testing"
+
+	"paracrash"
+)
+
+// TestPublicAPIQuickstart exercises the README's quick-start path.
+func TestPublicAPIQuickstart(t *testing.T) {
+	rec := paracrash.NewRecorder()
+	fs, err := paracrash.NewFileSystem("beegfs", paracrash.DefaultConfig(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := paracrash.Run(fs, nil, paracrash.ARVR(), paracrash.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Bugs) != 2 {
+		t.Fatalf("quickstart should find 2 bugs, got %d", len(report.Bugs))
+	}
+	out := report.Format()
+	for _, want := range []string{"ParaCrash report", "reordering", "append(chunk)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPublicAPICrossLayer exercises the library-attached path.
+func TestPublicAPICrossLayer(t *testing.T) {
+	rec := paracrash.NewRecorder()
+	fs, err := paracrash.NewFileSystem("lustre", paracrash.ConfigFor("lustre"), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := paracrash.H5Delete(paracrash.DefaultH5Params())
+	report, err := paracrash.Run(fs, w.Library(), w, paracrash.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.LibOnly == 0 {
+		t.Fatal("cross-layer run should attribute inconsistencies to the library")
+	}
+	foundHDF5 := false
+	for _, b := range report.Bugs {
+		if b.Layer == "hdf5" {
+			foundHDF5 = true
+		}
+	}
+	if !foundHDF5 {
+		t.Fatal("no hdf5-layer bug reported")
+	}
+}
+
+// TestPublicAPIEveryFS constructs every advertised file system.
+func TestPublicAPIEveryFS(t *testing.T) {
+	for _, name := range paracrash.FileSystems() {
+		fs, err := paracrash.NewFileSystem(name, paracrash.ConfigFor(name), paracrash.NewRecorder())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fs.Name() != name {
+			t.Fatalf("NewFileSystem(%q).Name() = %q", name, fs.Name())
+		}
+	}
+	if _, err := paracrash.NewFileSystem("nope", paracrash.DefaultConfig(), paracrash.NewRecorder()); err == nil {
+		t.Fatal("unknown file system must error")
+	}
+}
+
+// TestPublicAPIModels runs the Figure 5 example through each model.
+func TestPublicAPIModels(t *testing.T) {
+	legal := map[paracrash.Model]int{}
+	for _, m := range []paracrash.Model{
+		paracrash.ModelStrict, paracrash.ModelCommit,
+		paracrash.ModelCausal, paracrash.ModelBaseline,
+	} {
+		fs, err := paracrash.NewFileSystem("ext4", paracrash.ConfigFor("ext4"), paracrash.NewRecorder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := paracrash.DefaultOptions()
+		opts.PFSModel = m
+		rep, err := paracrash.Run(fs, nil, paracrash.Fig5Program(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legal[m] = rep.Stats.LegalPFSStates
+	}
+	// Weaker models allow more legal states (paper §4.4.3).
+	if !(legal[paracrash.ModelStrict] < legal[paracrash.ModelCausal] &&
+		legal[paracrash.ModelCausal] <= legal[paracrash.ModelCommit] &&
+		legal[paracrash.ModelCommit] < legal[paracrash.ModelBaseline]) {
+		t.Fatalf("legal-state counts not monotonic in model strength: %v", legal)
+	}
+}

@@ -1,0 +1,97 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (§6) from the simulated stack.
+//
+// Usage:
+//
+//	experiments -exp fig8       # inconsistent crash states per program × FS
+//	experiments -exp fig9       # ARVR traces across file systems (Fig 2/9)
+//	experiments -exp fig10      # brute vs pruning vs optimized timing
+//	experiments -exp fig11      # scalability with server count
+//	experiments -exp fig5       # consistency-model demonstration
+//	experiments -exp table3     # the aggregated bug list
+//	experiments -exp sensitivity # the Table 3 sensitivity studies
+//	experiments -exp speedups   # §6.4 headline numbers on ARVR/BeeGFS
+//	experiments -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paracrash/internal/exps"
+	core "paracrash/internal/paracrash"
+	"paracrash/internal/workloads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig5, fig8, fig9, fig10, fig11, table3, sensitivity, speedups, all")
+	servers := flag.String("servers", "4,6,8,16,32", "server counts for fig11")
+	flag.Parse()
+
+	h5p := workloads.DefaultH5Params()
+	run := func(name string) {
+		switch name {
+		case "fig5":
+			fmt.Println(exps.Fig5())
+		case "fig8":
+			res := exps.Fig8(core.DefaultOptions(), h5p)
+			fmt.Println(res.Format())
+		case "fig9":
+			fmt.Println(exps.Fig9(h5p))
+		case "fig10":
+			fmt.Println(exps.FormatFig10(exps.Fig10(h5p)))
+		case "fig11":
+			var counts []int
+			for _, s := range strings.Split(*servers, ",") {
+				var n int
+				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err == nil && n > 1 {
+					counts = append(counts, n)
+				}
+			}
+			fmt.Println(exps.FormatFig11(exps.Fig11(counts, h5p)))
+		case "table3":
+			fmt.Println(exps.FormatTable3(exps.Table3(core.DefaultOptions(), h5p)))
+		case "sensitivity":
+			fmt.Println(exps.Sensitivity())
+		case "speedups":
+			res, err := exps.Speedups("beegfs", "ARVR", h5p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Println("§6.4 exploration speedups (ARVR on BeeGFS):")
+			fmt.Printf("  brute-force: %4d states checked, %d server restores, %.4fs (%d bugs)\n",
+				res.BruteStates, res.BruteRestores, res.BruteSeconds, res.BruteBugs)
+			fmt.Printf("  pruning:     %4d states checked, %.4fs (%d bugs)\n",
+				res.PrunedStates, res.PrunedSeconds, res.PrunedBugs)
+			fmt.Printf("  optimized:   %d server restores, %.4fs (%d bugs)\n",
+				res.OptRestores, res.OptimizedSeconds, res.OptBug)
+			if res.PrunedStates > 0 {
+				fmt.Printf("  state reduction: %.1fx; restore reduction: %.1fx\n",
+					float64(res.BruteStates)/float64(res.PrunedStates),
+					float64(res.BruteRestores)/float64(maxInt(res.OptRestores, 1)))
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"fig5", "fig8", "fig9", "fig10", "fig11", "table3", "sensitivity", "speedups"} {
+			fmt.Printf("################ %s ################\n", name)
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+// Command h5replay re-executes the I/O-library operations of a recorded
+// trace against a file image and prints the resulting logical state — the
+// standalone form of the paper's h5replay tool (§5.1), which generates and
+// runs a replay program for a given sequence of HDF5 calls.
+//
+// Usage:
+//
+//	paracrash -fs beegfs -program H5-create -dump-trace /tmp/t.json
+//	h5replay -trace /tmp/t.json
+//	h5replay -trace /tmp/t.json -image file.h5 -netcdf
+//
+// Without -image the paper's standard preamble image (two groups with one
+// dataset each) is synthesised as the starting state.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paracrash/internal/hdf5"
+	"paracrash/internal/stack"
+	"paracrash/internal/trace"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "trace JSON produced by paracrash -dump-trace (required)")
+	imagePath := flag.String("image", "", "starting file image (default: the standard preamble)")
+	netcdf := flag.Bool("netcdf", false, "replay with NetCDF (eager-open) semantics")
+	filePath := flag.String("file", "/test.h5", "library file path within the trace")
+	flag.Parse()
+
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "h5replay: -trace is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*tracePath)
+	fatalIf(err)
+	ops, err := trace.Decode(raw)
+	fatalIf(err)
+
+	var libOps []*trace.Op
+	for _, o := range ops {
+		if o.Layer == trace.LayerIOLib {
+			libOps = append(libOps, o)
+		}
+	}
+	if len(libOps) == 0 {
+		fmt.Fprintln(os.Stderr, "h5replay: trace contains no library operations")
+		os.Exit(1)
+	}
+
+	var seed []byte
+	if *imagePath != "" {
+		seed, err = os.ReadFile(*imagePath)
+		fatalIf(err)
+	} else {
+		seed = standardPreamble()
+	}
+
+	dialect := stack.DialectHDF5
+	if *netcdf {
+		dialect = stack.DialectNetCDF
+	}
+	lib := stack.NewLibrary(dialect, *filePath)
+	lib.SeedImage(seed)
+
+	state, err := lib.Replay(libOps)
+	fatalIf(err)
+	fmt.Printf("replayed %d library operations:\n%s", len(libOps), state)
+}
+
+func standardPreamble() []byte {
+	be := &hdf5.MemBackend{}
+	f, err := hdf5.Format(be)
+	fatalIf(err)
+	fatalIf(f.CreateGroup("/g1"))
+	fatalIf(f.CreateGroup("/g2"))
+	fatalIf(f.CreateDataset("/g1/d1", 4, 4))
+	fatalIf(f.CreateDataset("/g2/d2", 4, 4))
+	fatalIf(f.Close())
+	return be.Buf
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "h5replay:", err)
+		os.Exit(1)
+	}
+}

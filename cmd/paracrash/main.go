@@ -1,0 +1,133 @@
+// Command paracrash runs one test program against one simulated parallel
+// file system and prints the crash-consistency report — the CLI face of
+// the testing framework.
+//
+// Usage:
+//
+//	paracrash -fs beegfs -program ARVR
+//	paracrash -fs lustre -program H5-resize -mode optimized -k 2
+//	paracrash -fs gpfs -program CDF-create -pfs-model causal -lib-model baseline
+//	paracrash -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paracrash/internal/exps"
+	core "paracrash/internal/paracrash"
+	"paracrash/internal/workloads"
+)
+
+func main() {
+	var (
+		fsName   = flag.String("fs", "beegfs", "file system under test (beegfs, orangefs, glusterfs, gpfs, lustre, ext4)")
+		progName = flag.String("program", "ARVR", "test program (see -list)")
+		mode     = flag.String("mode", "pruning", "exploration strategy: brute, pruning, optimized")
+		pfsModel = flag.String("pfs-model", "causal", "PFS consistency model: strict, commit, causal, baseline")
+		libModel = flag.String("lib-model", "baseline", "I/O library consistency model")
+		k        = flag.Int("k", 1, "max victims per crash front (Algorithm 1's k)")
+		servers  = flag.Int("servers", 0, "override total server count (0 = paper default)")
+		stripe   = flag.Int64("stripe", 0, "override stripe size in bytes (0 = default)")
+		clients  = flag.Int("clients", 2, "MPI ranks for the parallel programs")
+		rows     = flag.Int("rows", 4, "preamble dataset rows")
+		cols     = flag.Int("cols", 4, "preamble dataset cols")
+		rrows    = flag.Int("resize-rows", 8, "H5-resize target rows")
+		rcols    = flag.Int("resize-cols", 8, "H5-resize target cols")
+		verbose  = flag.Bool("v", false, "also print each inconsistent crash state")
+		list     = flag.Bool("list", false, "list programs and file systems, then exit")
+		dumpPath = flag.String("dump-trace", "", "write the traced execution as JSON to this file instead of testing")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("file systems:", strings.Join(exps.FSNames(), ", "))
+		fmt.Print("programs:     ")
+		var names []string
+		for _, p := range exps.Programs() {
+			names = append(names, p.Name)
+		}
+		fmt.Println(strings.Join(names, ", "))
+		return
+	}
+
+	prog, err := exps.ProgramByName(*progName)
+	fatalIf(err)
+
+	opts := core.DefaultOptions()
+	opts.Emulator.K = *k
+	switch *mode {
+	case "brute":
+		opts.Mode = core.ModeBrute
+	case "pruning":
+		opts.Mode = core.ModePruning
+	case "optimized":
+		opts.Mode = core.ModeOptimized
+	default:
+		fatalIf(fmt.Errorf("unknown mode %q", *mode))
+	}
+	opts.PFSModel, err = core.ParseModel(*pfsModel)
+	fatalIf(err)
+	opts.LibModel, err = core.ParseModel(*libModel)
+	fatalIf(err)
+
+	conf := exps.ConfigFor(*fsName)
+	if *servers > 0 {
+		if conf.MetaServers > 0 {
+			conf.MetaServers = *servers / 2
+			conf.StorageServers = *servers - *servers/2
+		} else {
+			conf.StorageServers = *servers
+		}
+	}
+	if *stripe > 0 {
+		conf.StripeSize = *stripe
+	}
+
+	h5p := workloads.DefaultH5Params()
+	h5p.Clients = *clients
+	h5p.Rows, h5p.Cols = *rows, *cols
+	h5p.ResizeRows, h5p.ResizeCols = *rrows, *rcols
+
+	if *dumpPath != "" {
+		dump, err := exps.TraceJSON(*fsName, prog, h5p, conf)
+		fatalIf(err)
+		fatalIf(os.WriteFile(*dumpPath, dump, 0o644))
+		fmt.Printf("trace written to %s\n", *dumpPath)
+		return
+	}
+
+	rep, err := exps.RunOne(*fsName, prog, opts, h5p, conf)
+	fatalIf(err)
+
+	if *jsonOut {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		fatalIf(err)
+		fmt.Println(string(out))
+		if len(rep.Bugs) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Print(rep.Format())
+	if *verbose {
+		for i, st := range rep.States {
+			fmt.Printf("state %d [%s]: victims=%v\n  %s\n", i+1, st.Layer, st.Victims, st.Consequence)
+		}
+	}
+	if len(rep.Bugs) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paracrash:", err)
+		os.Exit(2)
+	}
+}

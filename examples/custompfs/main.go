@@ -1,0 +1,164 @@
+// custompfs: plug your own parallel file system into ParaCrash.
+//
+// This example implements "mirrorfs", a deliberately naive two-replica
+// file system: every client operation is applied to both replicas with no
+// synchronisation protocol, reads load-balance across the replicas by path
+// hash, and there is no fsck. ParaCrash immediately pinpoints the design
+// flaw: the replicas' updates persist independently, so a crash between
+// them leaves the survivors disagreeing, and whichever replica a path
+// happens to read from serves the stale or the fresh copy.
+//
+// The implementation shows the full FileSystem contract: keep ALL state in
+// the embedded Cluster's server stores so that snapshot/restore-based
+// crash reconstruction is automatically faithful.
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log"
+
+	root "paracrash"
+	"paracrash/internal/pfs"
+	"paracrash/internal/trace"
+	"paracrash/internal/vfs"
+)
+
+// mirrorFS replicates a flat namespace across two servers.
+type mirrorFS struct {
+	*pfs.Cluster
+	conf pfs.Config
+}
+
+func newMirrorFS(conf pfs.Config, rec *trace.Recorder) *mirrorFS {
+	return &mirrorFS{
+		Cluster: pfs.NewCluster(conf, rec, []string{"replica/0", "replica/1"}),
+		conf:    conf,
+	}
+}
+
+func (f *mirrorFS) Name() string              { return "mirrorfs" }
+func (f *mirrorFS) Config() pfs.Config        { return f.conf }
+func (f *mirrorFS) Recorder() *trace.Recorder { return f.Rec }
+
+func (f *mirrorFS) Client(id int) pfs.Client {
+	return &mirrorClient{fs: f, proc: fmt.Sprintf("client/%d", id)}
+}
+
+// Recover does nothing: mirrorfs ships no fsck — the design flaw under
+// test.
+func (f *mirrorFS) Recover() error { return nil }
+
+// replicaFor load-balances reads across the replicas by path hash.
+func (f *mirrorFS) replicaFor(p string) *vfs.FS {
+	h := fnv.New32a()
+	h.Write([]byte(p))
+	return f.FSServers[int(h.Sum32())%2].FS
+}
+
+// Mount reads each path from its read replica: the union namespace serves
+// whatever that replica persisted.
+func (f *mirrorFS) Mount() (*pfs.Tree, error) {
+	t := pfs.NewTree()
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		for _, p := range f.FSServers[i].FS.Walk() {
+			if p == "/" || seen[p] {
+				continue
+			}
+			seen[p] = true
+			src := f.replicaFor(p)
+			if !src.Exists(p) {
+				continue // the read replica never persisted this path
+			}
+			if src.IsDir(p) {
+				t.AddDir(p)
+				continue
+			}
+			data, err := src.Read(p)
+			if err != nil {
+				return nil, err
+			}
+			t.AddFile(p, data)
+		}
+	}
+	return t, nil
+}
+
+// mirrorClient applies every operation to both replicas, primary first.
+type mirrorClient struct {
+	fs   *mirrorFS
+	proc string
+}
+
+func (c *mirrorClient) Proc() string { return c.proc }
+
+// both runs op against each replica inside its own RPC, so the two local
+// writes are separate persistence events — the flaw under test.
+func (c *mirrorClient) both(name, path, path2 string, off int64, data []byte, op vfs.Op, tag string) error {
+	f := c.fs
+	f.RecordClientOp(c.proc, name, path, path2, off, data)
+	defer f.PopClient(c.proc)
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		srv := f.FSServers[i]
+		f.RPC(c.proc, srv.Proc, func() {
+			if err := srv.Do(f.Rec, op, path, tag); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	return firstErr
+}
+
+func (c *mirrorClient) Create(path string) error {
+	return c.both("creat", path, "", 0, nil, vfs.Op{Kind: vfs.OpCreate, Path: path}, "file")
+}
+func (c *mirrorClient) Mkdir(path string) error {
+	return c.both("mkdir", path, "", 0, nil, vfs.Op{Kind: vfs.OpMkdir, Path: path}, "dir")
+}
+func (c *mirrorClient) WriteAt(path string, off int64, data []byte) error {
+	return c.both("pwrite", path, "", off, data,
+		vfs.Op{Kind: vfs.OpWrite, Path: path, Offset: off, Data: data}, "data")
+}
+func (c *mirrorClient) Append(path string, data []byte) error {
+	return c.both("append", path, "", 0, data, vfs.Op{Kind: vfs.OpAppend, Path: path, Data: data}, "data")
+}
+func (c *mirrorClient) Read(path string) ([]byte, error) {
+	return c.fs.replicaFor(path).Read(path)
+}
+func (c *mirrorClient) Rename(from, to string) error {
+	return c.both("rename", from, to, 0, nil, vfs.Op{Kind: vfs.OpRename, Path: from, Path2: to}, "dentry")
+}
+func (c *mirrorClient) Unlink(path string) error {
+	return c.both("unlink", path, "", 0, nil, vfs.Op{Kind: vfs.OpUnlink, Path: path}, "dentry")
+}
+func (c *mirrorClient) Fsync(path string) error {
+	f := c.fs
+	op := f.RecordClientOp(c.proc, "fsync", path, "", 0, nil)
+	op.Sync = true
+	defer f.PopClient(c.proc)
+	for i := 0; i < 2; i++ {
+		srv := f.FSServers[i]
+		f.RPC(c.proc, srv.Proc, func() { _ = srv.DoSync(f.Rec, path, path, false) })
+	}
+	return nil
+}
+func (c *mirrorClient) Close(path string) error {
+	c.fs.RecordClientOp(c.proc, "close", path, "", 0, nil)
+	c.fs.PopClient(c.proc)
+	return nil
+}
+
+func main() {
+	rec := root.NewRecorder()
+	fs := newMirrorFS(root.DefaultConfig(), rec)
+	report, err := root.Run(fs, nil, root.ARVR(), root.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.Format())
+	fmt.Println("\nmirrorfs replicates every op to both replicas but persists them")
+	fmt.Println("independently; a crash between the two applications diverges the")
+	fmt.Println("replicas, and hash-routed reads then serve a mix of old and new.")
+}

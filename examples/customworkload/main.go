@@ -1,0 +1,84 @@
+// customworkload: bring your own test program.
+//
+// A Workload is a preamble (initial state) plus a traced body driving the
+// POSIX-like client API. This example tests a *defensive* variant of the
+// ARVR pattern that fsyncs the temporary file before the rename — the fix
+// application developers deploy against the paper's bug #1 — and shows
+// that the fsync closes the append/rename reordering on BeeGFS while the
+// rename/unlink reordering (bug #2, inside the PFS) remains.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paracrash"
+)
+
+// safeARVR is ARVR with an fsync barrier between the write and the rename.
+type safeARVR struct{}
+
+func (safeARVR) Name() string { return "ARVR+fsync" }
+
+func (safeARVR) Preamble(fs paracrash.FileSystem) error {
+	c := fs.Client(0)
+	if err := c.Create("/foo"); err != nil {
+		return err
+	}
+	if err := c.WriteAt("/foo", 0, []byte("old-old-old-old-old!")); err != nil {
+		return err
+	}
+	return c.Close("/foo")
+}
+
+func (safeARVR) Run(fs paracrash.FileSystem) error {
+	c := fs.Client(0)
+	if err := c.Create("/tmp"); err != nil {
+		return err
+	}
+	if err := c.WriteAt("/tmp", 0, []byte("new-new-new-new-new!")); err != nil {
+		return err
+	}
+	// The defensive barrier: persist the data before exposing it.
+	if err := c.Fsync("/tmp"); err != nil {
+		return err
+	}
+	if err := c.Close("/tmp"); err != nil {
+		return err
+	}
+	return c.Rename("/tmp", "/foo")
+}
+
+func main() {
+	run := func(w paracrash.Workload) *paracrash.Report {
+		rec := paracrash.NewRecorder()
+		fs, err := paracrash.NewFileSystem("beegfs", paracrash.DefaultConfig(), rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := paracrash.Run(fs, nil, w, paracrash.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+
+	plain := run(paracrash.ARVR())
+	safe := run(safeARVR{})
+
+	fmt.Printf("plain ARVR on BeeGFS:  %d inconsistent states, %d bugs\n",
+		plain.Inconsistent, len(plain.Bugs))
+	for _, b := range plain.Bugs {
+		fmt.Printf("   %s: %s -> %s\n", b.Kind, b.OpA, b.OpB)
+	}
+	fmt.Printf("ARVR+fsync on BeeGFS:  %d inconsistent states, %d bugs\n",
+		safe.Inconsistent, len(safe.Bugs))
+	for _, b := range safe.Bugs {
+		fmt.Printf("   %s: %s -> %s\n", b.Kind, b.OpA, b.OpB)
+	}
+	fmt.Println("\nThe fsync pins the appended data before the rename can persist,")
+	fmt.Println("closing bug #1. Bug #2 lives inside the file system and survives —")
+	fmt.Println("and the checker notes that BeeGFS's remote fsync covers only the")
+	fmt.Println("chunk data, not the metadata entry, so the synced file can still")
+	fmt.Println("vanish wholesale (the link -> append reordering).")
+}

@@ -1,0 +1,42 @@
+// hdf5workflow: cross-layer testing of an HDF5 program over a parallel
+// file system — the paper's headline capability.
+//
+// The H5-resize program grows a dataset through the full stack (HDF5 over
+// MPI-IO over Lustre). ParaCrash checks every crash state first against
+// the HDF5 baseline-consistency golden states, then against the PFS causal
+// states, attributing each inconsistency to the responsible layer: even on
+// Lustre — which is clean for every POSIX program — the library's
+// unordered metadata flush corrupts the resized dataset (Table 3, rows
+// 13-14).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paracrash"
+)
+
+func main() {
+	params := paracrash.DefaultH5Params()
+	// 10x10 elements = 7 chunks: the resize splits the dataset's chunk
+	// B-tree, the paper's dimension-sensitive bug #14.
+	params.ResizeRows, params.ResizeCols = 10, 10
+
+	for _, fsName := range []string{"lustre", "beegfs"} {
+		rec := paracrash.NewRecorder()
+		fs, err := paracrash.NewFileSystem(fsName, paracrash.ConfigFor(fsName), rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := paracrash.H5Resize(params)
+		report, err := paracrash.Run(fs, w.Library(), w, paracrash.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=============== %s ===============\n", fsName)
+		fmt.Print(report.Format())
+		fmt.Printf("library-attributed inconsistencies: %d of %d\n\n",
+			report.LibOnly, report.Inconsistent)
+	}
+}

@@ -1,0 +1,3 @@
+module paracrash
+
+go 1.22

@@ -1,0 +1,129 @@
+// Package blockdev implements the block-device substrate used by the
+// kernel-level parallel file systems in the simulated stack (the paper's
+// GPFS and Lustre, traced at the SCSI command level through iSCSI).
+//
+// A Dev is an LBA-addressed image. Writes replace whole blocks; scsi_sync
+// is a write barrier: every write issued before the barrier persists before
+// any write issued after it on the same device. As with package vfs, the
+// persist-before relation itself is computed by package causality — this
+// package only provides replayable ops, snapshots and canonical hashing.
+package blockdev
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpKind enumerates replayable block-device commands.
+type OpKind int
+
+const (
+	// OpWrite writes Data at block address LBA.
+	OpWrite OpKind = iota
+	// OpSync is a write barrier (scsi_synchronize_cache).
+	OpSync
+)
+
+// Op is a single replayable block command.
+type Op struct {
+	Kind OpKind
+	LBA  int64
+	Data []byte
+}
+
+// String renders the op in the iSCSI-trace form used by the paper.
+func (o Op) String() string {
+	if o.Kind == OpSync {
+		return "scsi_sync()"
+	}
+	return fmt.Sprintf("scsi_write(LBA: %d, len=%d)", o.LBA, len(o.Data))
+}
+
+// Dev is an in-memory block device. Blocks are variable-length: each LBA
+// holds exactly the bytes most recently written to it, which is sufficient
+// for whole-block-granularity crash emulation.
+type Dev struct {
+	blocks map[int64][]byte
+}
+
+// New returns an empty device.
+func New() *Dev {
+	return &Dev{blocks: make(map[int64][]byte)}
+}
+
+// Write stores data at lba, replacing any previous contents.
+func (d *Dev) Write(lba int64, data []byte) {
+	d.blocks[lba] = append([]byte(nil), data...)
+}
+
+// Read returns the contents of lba and whether the block has been written.
+func (d *Dev) Read(lba int64) ([]byte, bool) {
+	b, ok := d.blocks[lba]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), b...), true
+}
+
+// Erase removes the block at lba (models discard; used by fsck policies).
+func (d *Dev) Erase(lba int64) {
+	delete(d.blocks, lba)
+}
+
+// LBAs returns the sorted set of written block addresses.
+func (d *Dev) LBAs() []int64 {
+	out := make([]int64, 0, len(d.blocks))
+	for lba := range d.blocks {
+		out = append(out, lba)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Apply replays op onto the device.
+func (d *Dev) Apply(op Op) error {
+	switch op.Kind {
+	case OpWrite:
+		d.Write(op.LBA, op.Data)
+		return nil
+	case OpSync:
+		return nil // barrier: persistence point only
+	default:
+		return fmt.Errorf("blockdev: apply: unknown op kind %d", op.Kind)
+	}
+}
+
+// Snapshot returns a deep copy of the device.
+func (d *Dev) Snapshot() *Dev {
+	c := New()
+	for lba, b := range d.blocks {
+		c.blocks[lba] = append([]byte(nil), b...)
+	}
+	return c
+}
+
+// Restore replaces the contents of d with a deep copy of snap.
+func (d *Dev) Restore(snap *Dev) {
+	c := snap.Snapshot()
+	d.blocks = c.blocks
+}
+
+// Serialize renders the device state canonically: one line per written LBA
+// with a content hash.
+func (d *Dev) Serialize() string {
+	var b strings.Builder
+	for _, lba := range d.LBAs() {
+		sum := sha256.Sum256(d.blocks[lba])
+		fmt.Fprintf(&b, "%d %d %s\n", lba, len(d.blocks[lba]), hex.EncodeToString(sum[:8]))
+	}
+	return b.String()
+}
+
+// Hash returns a short hex digest of the canonical state.
+func (d *Dev) Hash() string {
+	sum := sha256.Sum256([]byte(d.Serialize()))
+	return hex.EncodeToString(sum[:12])
+}

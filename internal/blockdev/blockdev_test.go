@@ -1,0 +1,123 @@
+package blockdev
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadErase(t *testing.T) {
+	d := New()
+	d.Write(5, []byte("abc"))
+	b, ok := d.Read(5)
+	if !ok || string(b) != "abc" {
+		t.Fatalf("Read = %q, %v", b, ok)
+	}
+	if _, ok := d.Read(6); ok {
+		t.Fatal("unwritten block must not exist")
+	}
+	d.Write(5, []byte("xy"))
+	b, _ = d.Read(5)
+	if string(b) != "xy" {
+		t.Fatal("rewrite must replace the whole block")
+	}
+	d.Erase(5)
+	if _, ok := d.Read(5); ok {
+		t.Fatal("erase must remove the block")
+	}
+}
+
+func TestReadIsACopy(t *testing.T) {
+	d := New()
+	d.Write(1, []byte("abc"))
+	b, _ := d.Read(1)
+	b[0] = 'X'
+	b2, _ := d.Read(1)
+	if string(b2) != "abc" {
+		t.Fatal("Read must return a copy")
+	}
+}
+
+func TestApply(t *testing.T) {
+	d := New()
+	if err := d.Apply(Op{Kind: OpWrite, LBA: 3, Data: []byte("z")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(Op{Kind: OpSync}); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := d.Read(3); !ok || string(b) != "z" {
+		t.Fatalf("apply write lost: %q %v", b, ok)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	d := New()
+	d.Write(1, []byte("a"))
+	snap := d.Snapshot()
+	d.Write(1, []byte("b"))
+	d.Write(2, []byte("c"))
+	d.Restore(snap)
+	if b, _ := d.Read(1); string(b) != "a" {
+		t.Fatal("restore content wrong")
+	}
+	if _, ok := d.Read(2); ok {
+		t.Fatal("restore kept extra block")
+	}
+	// Snapshot stays isolated after restore.
+	d.Write(1, []byte("z"))
+	if b, _ := snap.Read(1); string(b) != "a" {
+		t.Fatal("restore aliased the snapshot")
+	}
+}
+
+func TestSerializeAndLBAs(t *testing.T) {
+	a, b := New(), New()
+	a.Write(2, []byte("x"))
+	a.Write(1, []byte("y"))
+	b.Write(1, []byte("y"))
+	b.Write(2, []byte("x"))
+	if a.Hash() != b.Hash() {
+		t.Fatal("write order must not affect the canonical state")
+	}
+	lbas := a.LBAs()
+	if len(lbas) != 2 || lbas[0] != 1 || lbas[1] != 2 {
+		t.Fatalf("LBAs = %v", lbas)
+	}
+	b.Write(3, []byte("z"))
+	if a.Hash() == b.Hash() {
+		t.Fatal("different devices hash equal")
+	}
+}
+
+func TestQuickLastWriteWins(t *testing.T) {
+	f := func(writes []struct {
+		LBA  uint8
+		Data []byte
+	}) bool {
+		d := New()
+		last := map[int64][]byte{}
+		for _, w := range writes {
+			d.Write(int64(w.LBA), w.Data)
+			last[int64(w.LBA)] = w.Data
+		}
+		for lba, want := range last {
+			got, ok := d.Read(lba)
+			if !ok || string(got) != string(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if s := (Op{Kind: OpSync}).String(); s != "scsi_sync()" {
+		t.Errorf("sync op string = %q", s)
+	}
+	if s := (Op{Kind: OpWrite, LBA: 7, Data: []byte("ab")}).String(); s != "scsi_write(LBA: 7, len=2)" {
+		t.Errorf("write op string = %q", s)
+	}
+}

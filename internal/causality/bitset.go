@@ -1,0 +1,110 @@
+package causality
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Bitset is a fixed-capacity bit vector used to represent op sets (crash
+// states, cuts, closures) compactly. The capacity is fixed at creation; all
+// operations assume operands of equal capacity.
+type Bitset []uint64
+
+// NewBitset returns a bitset able to hold n bits, all clear.
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (b Bitset) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// Get reports whether bit i is set.
+func (b Bitset) Get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Clone returns a copy of b.
+func (b Bitset) Clone() Bitset {
+	c := make(Bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// Equal reports whether b and o hold the same bits.
+func (b Bitset) Equal(o Bitset) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Union sets b to b ∪ o.
+func (b Bitset) Union(o Bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// Subtract sets b to b \ o.
+func (b Bitset) Subtract(o Bitset) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+
+// Intersects reports whether b ∩ o is non-empty.
+func (b Bitset) Intersects(o Bitset) bool {
+	for i := range b {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAll reports whether o ⊆ b.
+func (b Bitset) ContainsAll(o Bitset) bool {
+	for i := range o {
+		if o[i]&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string form usable as a map key.
+func (b Bitset) Key() string {
+	buf := make([]byte, 8*len(b))
+	for i, w := range b {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	return string(buf)
+}
+
+// Members returns the indices of set bits in ascending order.
+func (b Bitset) Members() []int {
+	var out []int
+	for wi, w := range b {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			out = append(out, wi*64+i)
+			w &^= 1 << uint(i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package exps
+
+import (
+	"fmt"
+	"strings"
+
+	"paracrash/internal/paracrash"
+	"paracrash/internal/pfs"
+	"paracrash/internal/trace"
+	"paracrash/internal/workloads"
+)
+
+// TraceDump runs a program's preamble and traced body on a file system and
+// returns the per-process operation listing — the raw material of the
+// paper's Figures 2 and 9.
+func TraceDump(fsName string, prog Program, h5p workloads.H5Params) (string, error) {
+	conf := ConfigFor(fsName)
+	placement := prog.Placement
+	if fsName == "glusterfs" {
+		placement = prog.GlusterPlacement
+	}
+	if placement != nil {
+		conf.FilePlacement = placement
+	}
+	rec := trace.NewRecorder()
+	fs, err := NewFS(fsName, conf, rec)
+	if err != nil {
+		return "", err
+	}
+	w, _ := prog.Make(h5p)
+	rec.SetEnabled(false)
+	if err := w.Preamble(fs); err != nil {
+		return "", fmt.Errorf("preamble: %w", err)
+	}
+	rec.Reset()
+	rec.SetEnabled(true)
+	if err := w.Run(fs); err != nil {
+		return "", fmt.Errorf("run: %w", err)
+	}
+	rec.SetEnabled(false)
+	return trace.Format(rec.Ops()), nil
+}
+
+// Fig9 renders the ARVR traces on BeeGFS, OrangeFS, GlusterFS and GPFS —
+// the cross-file-system comparison of the paper's Figure 9 (and Figure 2
+// for BeeGFS).
+func Fig9(h5p workloads.H5Params) string {
+	var b strings.Builder
+	prog, _ := ProgramByName("ARVR")
+	b.WriteString("Figure 2/9: ARVR traces across parallel file systems\n")
+	for _, fsName := range []string{"beegfs", "orangefs", "glusterfs", "gpfs"} {
+		dump, err := TraceDump(fsName, prog, h5p)
+		fmt.Fprintf(&b, "\n===== %s =====\n", fsName)
+		if err != nil {
+			fmt.Fprintf(&b, "error: %v\n", err)
+			continue
+		}
+		b.WriteString(dump)
+	}
+	return b.String()
+}
+
+// Fig5 demonstrates the four consistency models on the paper's Figure 5
+// two-process example: P0 writes A then sends to P1; P1 receives, writes C
+// and fsyncs; P0 writes B. It reports, for each model, how many distinct
+// legal states the checker accepts on the ext4 baseline.
+func Fig5() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: legal preserved-state counts per consistency model\n")
+	b.WriteString("(P0: write A; send; write B   P1: recv; write C; fsync)\n\n")
+	for _, m := range []paracrash.Model{paracrash.ModelStrict, paracrash.ModelCommit, paracrash.ModelCausal, paracrash.ModelBaseline} {
+		opts := paracrash.DefaultOptions()
+		opts.PFSModel = m
+		rec := trace.NewRecorder()
+		fs, _ := NewFS("ext4", ConfigFor("ext4"), rec)
+		rep, err := paracrash.Run(fs, nil, workloads.Fig5Program(), opts)
+		if err != nil {
+			fmt.Fprintf(&b, "%-10s error: %v\n", m, err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s legal states: %2d   inconsistent crash states: %d\n",
+			m, rep.Stats.LegalPFSStates, rep.Inconsistent)
+	}
+	return b.String()
+}
+
+// TraceJSON runs a program and returns its full trace serialised as JSON
+// (the per-process trace files of the paper's tracing stage, §5.1).
+func TraceJSON(fsName string, prog Program, h5p workloads.H5Params, conf pfs.Config) ([]byte, error) {
+	placement := prog.Placement
+	if fsName == "glusterfs" {
+		placement = prog.GlusterPlacement
+	}
+	if placement != nil {
+		if conf.FilePlacement == nil {
+			conf.FilePlacement = map[string]int{}
+		}
+		for k, v := range placement {
+			conf.FilePlacement[k] = v
+		}
+	}
+	rec := trace.NewRecorder()
+	fs, err := NewFS(fsName, conf, rec)
+	if err != nil {
+		return nil, err
+	}
+	w, _ := prog.Make(h5p)
+	rec.SetEnabled(false)
+	if err := w.Preamble(fs); err != nil {
+		return nil, fmt.Errorf("preamble: %w", err)
+	}
+	rec.Reset()
+	rec.SetEnabled(true)
+	if err := w.Run(fs); err != nil {
+		return nil, fmt.Errorf("run: %w", err)
+	}
+	rec.SetEnabled(false)
+	return trace.Encode(rec.Ops())
+}

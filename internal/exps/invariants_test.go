@@ -1,0 +1,85 @@
+package exps
+
+import (
+	"testing"
+
+	core "paracrash/internal/paracrash"
+	"paracrash/internal/pfs"
+	"paracrash/internal/trace"
+	"paracrash/internal/workloads"
+)
+
+// TestGoldenReplayMatchesLiveExecution is the invariant everything rests
+// on: re-executing the recorded PFS-layer client operations on the initial
+// snapshot reproduces exactly the live execution's logical namespace, on
+// every file system, for a spread of generated programs.
+func TestGoldenReplayMatchesLiveExecution(t *testing.T) {
+	for _, fsName := range FSNames() {
+		for seed := int64(0); seed < 6; seed++ {
+			w := workloads.Generate(workloads.DefaultGenConfig(seed))
+			rec := trace.NewRecorder()
+			fs, err := NewFS(fsName, ConfigFor(fsName), rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec.SetEnabled(false)
+			if err := w.Preamble(fs); err != nil {
+				t.Fatalf("%s seed %d preamble: %v", fsName, seed, err)
+			}
+			initial := fs.Snapshot()
+			rec.Reset()
+			rec.SetEnabled(true)
+			if err := w.Run(fs); err != nil {
+				t.Fatalf("%s seed %d run: %v", fsName, seed, err)
+			}
+			rec.SetEnabled(false)
+
+			liveTree, err := fs.Mount()
+			if err != nil {
+				t.Fatalf("%s seed %d live mount: %v", fsName, seed, err)
+			}
+			live := liveTree.Serialize()
+
+			// Golden replay: restore and re-execute the client ops.
+			fs.Restore(initial)
+			client := fs.Client(0)
+			for _, o := range rec.Ops() {
+				if o.Layer != trace.LayerPFS || o.IsComm() {
+					continue
+				}
+				if err := pfs.ReplayClientOp(client, o); err != nil {
+					t.Fatalf("%s seed %d replay %s: %v", fsName, seed, o.Name, err)
+				}
+			}
+			replayTree, err := fs.Mount()
+			if err != nil {
+				t.Fatalf("%s seed %d replay mount: %v", fsName, seed, err)
+			}
+			if replay := replayTree.Serialize(); replay != live {
+				t.Fatalf("%s seed %d: golden replay diverges\nlive:\n%s\nreplay:\n%s",
+					fsName, seed, live, replay)
+			}
+		}
+	}
+}
+
+// TestNormalStatesAreAlwaysConsistent: the full-persistence state of every
+// complete front must be legal for every file system — if it is not, the
+// persistence model and the consistency model disagree about crash-free
+// executions.
+func TestNormalStatesAreAlwaysConsistent(t *testing.T) {
+	for _, fsName := range FSNames() {
+		prog, _ := ProgramByName("ARVR")
+		opts := core.DefaultOptions()
+		opts.Emulator.K = 0 // only normal states (full persistence per front)
+		opts.Emulator.FrontMode = core.FrontEnd
+		rep, err := RunOne(fsName, prog, opts, workloads.DefaultH5Params(), ConfigFor(fsName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Inconsistent != 0 {
+			t.Errorf("%s: the crash-free end state is illegal (%d states): %+v",
+				fsName, rep.Inconsistent, rep.States)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package exps
+
+import (
+	"strings"
+	"testing"
+
+	"paracrash/internal/causality"
+	"paracrash/internal/trace"
+	"paracrash/internal/workloads"
+)
+
+// tracedRun returns the causality graph and persist order of a program's
+// traced execution on a file system.
+func tracedRun(t *testing.T, fsName, progName string) (*causality.Graph, *causality.PersistOrder) {
+	t.Helper()
+	prog, err := ProgramByName(progName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := ConfigFor(fsName)
+	if prog.Placement != nil && fsName != "glusterfs" {
+		conf.FilePlacement = prog.Placement
+	}
+	rec := trace.NewRecorder()
+	fs, err := NewFS(fsName, conf, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := prog.Make(workloads.DefaultH5Params())
+	rec.SetEnabled(false)
+	if err := w.Preamble(fs); err != nil {
+		t.Fatal(err)
+	}
+	rec.Reset()
+	rec.SetEnabled(true)
+	if err := w.Run(fs); err != nil {
+		t.Fatal(err)
+	}
+	rec.SetEnabled(false)
+	g := causality.Build(rec.Ops())
+	var universe []int
+	for i, o := range g.Ops {
+		if o.IsLowermost() && o.Payload != nil {
+			universe = append(universe, i)
+		}
+	}
+	return g, causality.NewPersistOrder(g, universe, fs.PersistConfig())
+}
+
+// findOp locates the first lowermost node whose name+tag match.
+func findOp(g *causality.Graph, name, tag string) int {
+	for i, o := range g.Ops {
+		if o.IsLowermost() && o.Payload != nil && o.Name == name && strings.Contains(o.Tag, tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestBeeGFSPersistSemantics verifies Algorithm 2 over the real ARVR trace:
+// the storage append is causally before but NOT persist-before the
+// metadata rename (bug #1's root), while the metadata server's own ops are
+// persist-ordered under data journaling.
+func TestBeeGFSPersistSemantics(t *testing.T) {
+	g, po := tracedRun(t, "beegfs", "ARVR")
+	app := findOp(g, "append", "chunk")
+	ren := findOp(g, "rename", "dentry")
+	unl := findOp(g, "unlink", "chunk")
+	crt := findOp(g, "creat", "idfile")
+	if app < 0 || ren < 0 || unl < 0 || crt < 0 {
+		t.Fatalf("trace shape unexpected: %d %d %d %d", app, ren, unl, crt)
+	}
+	if !g.HB(app, ren) {
+		t.Error("append must happen-before rename (client order)")
+	}
+	if po.PersistsBefore(app, ren) {
+		t.Error("append must NOT persist-before rename — that is bug #1's exposure")
+	}
+	if po.PersistsBefore(ren, unl) {
+		t.Error("rename must NOT persist-before the storage unlink — bug #2's exposure")
+	}
+	if !po.PersistsBefore(crt, ren) {
+		t.Error("same-metadata-server ops must stay ordered under data journaling")
+	}
+}
+
+// TestOrangeFSPersistSemantics: the per-update fdatasync commits metadata
+// across servers — the rename's DB write persists before everything that
+// causally follows it, which is why bugs #2 and #5 vanish on OrangeFS.
+func TestOrangeFSPersistSemantics(t *testing.T) {
+	g, po := tracedRun(t, "orangefs", "ARVR")
+	// The rename-phase keyval write (the dentry update pointing foo at the
+	// new bstream) and the post-commit stranded unlink.
+	var dbWrite, strandedUnlink int = -1, -1
+	for i, o := range g.Ops {
+		if !o.IsLowermost() || o.Payload == nil {
+			continue
+		}
+		if o.Name == "pwrite" && strings.Contains(o.Path, "keyval.db") {
+			dbWrite = i // the last keyval write is the rename commit
+		}
+		if o.Name == "unlink" && strings.Contains(o.Path, "stranded") {
+			strandedUnlink = i
+		}
+	}
+	if dbWrite < 0 || strandedUnlink < 0 {
+		t.Fatalf("trace shape unexpected: db=%d stranded=%d", dbWrite, strandedUnlink)
+	}
+	if !po.PersistsBefore(dbWrite, strandedUnlink) {
+		t.Error("the fdatasync'd DB commit must persist before the stranded unlink — OrangeFS's bug #2 defence")
+	}
+}
+
+// clientAncestor walks the caller chain to the owning PFS client op.
+func clientAncestor(g *causality.Graph, i int) int {
+	cur := g.Ops[i]
+	for cur != nil {
+		if cur.Layer == trace.LayerPFS && !cur.IsComm() {
+			idx, _ := g.IndexOf(cur.ID)
+			return idx
+		}
+		if cur.Parent <= 0 {
+			return -1
+		}
+		pi, ok := g.IndexOf(cur.Parent)
+		if !ok {
+			return -1
+		}
+		cur = g.Ops[pi]
+	}
+	return -1
+}
+
+// TestLustreCrossTransactionOrdering: with a barrier ending every write
+// group, writes of different client operations are always persist-ordered
+// when causally ordered — the property that makes Lustre clean on POSIX
+// programs. (Writes inside one barrier group may still reorder; recovery's
+// journal replay makes that harmless.)
+func TestLustreCrossTransactionOrdering(t *testing.T) {
+	g, po := tracedRun(t, "lustre", "ARVR")
+	checked := 0
+	for i, oi := range g.Ops {
+		if !oi.IsLowermost() || oi.Payload == nil || oi.Sync {
+			continue
+		}
+		for j, oj := range g.Ops {
+			if i == j || !oj.IsLowermost() || oj.Payload == nil || oj.Sync {
+				continue
+			}
+			if !g.HB(i, j) || clientAncestor(g, i) == clientAncestor(g, j) {
+				continue
+			}
+			checked++
+			if !po.PersistsBefore(i, j) {
+				t.Fatalf("Lustre: cross-transaction %s hb %s but not persist-ordered", oi.Key(), oj.Key())
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cross-transaction pairs checked")
+	}
+}
+
+// TestGPFSPersistIsUnordered: without barriers, block writes of different
+// transactions are never persist-ordered, even when causally ordered — the
+// freedom behind bugs #3-#5.
+func TestGPFSPersistIsUnordered(t *testing.T) {
+	g, po := tracedRun(t, "gpfs", "ARVR")
+	ordered := 0
+	pairs := 0
+	for i, oi := range g.Ops {
+		if !oi.IsLowermost() || oi.Payload == nil {
+			continue
+		}
+		for j, oj := range g.Ops {
+			if i == j || !oj.IsLowermost() || oj.Payload == nil {
+				continue
+			}
+			if g.HB(i, j) {
+				pairs++
+				if po.PersistsBefore(i, j) {
+					ordered++
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no pairs")
+	}
+	if ordered != 0 {
+		t.Fatalf("GPFS has %d persist-ordered pairs of %d; barrier-free writes must be free", ordered, pairs)
+	}
+}

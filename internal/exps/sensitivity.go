@@ -1,0 +1,100 @@
+package exps
+
+import (
+	"fmt"
+	"strings"
+
+	"paracrash/internal/paracrash"
+	"paracrash/internal/vfs"
+	"paracrash/internal/workloads"
+)
+
+// Sensitivity reproduces the sensitivity studies behind Table 3's rightmost
+// column (§6.2): dataset dimensions, client counts, file distribution,
+// victim count k, and the journaling-mode configuration note.
+func Sensitivity() string {
+	var b strings.Builder
+	b.WriteString("Sensitivity studies (Table 3 rightmost column, §6.2)\n\n")
+
+	// Dataset dimensions: the chunk B-tree split behind bug #14.
+	b.WriteString("dimensions (H5-resize on Lustre; bug #14 needs the chunk B-tree to split):\n")
+	for _, dims := range [][2]int{{8, 8}, {10, 10}} {
+		p := workloads.DefaultH5Params()
+		p.ResizeRows, p.ResizeCols = dims[0], dims[1]
+		prog, _ := ProgramByName("H5-resize")
+		rep, err := RunOne("lustre", prog, paracrash.DefaultOptions(), p, ConfigFor("lustre"))
+		if err != nil {
+			fmt.Fprintf(&b, "  %dx%d: error: %v\n", dims[0], dims[1], err)
+			continue
+		}
+		split := false
+		for _, bug := range rep.Bugs {
+			if strings.Contains(bug.Consequence, "wrong B-tree signature") {
+				split = true
+			}
+		}
+		fmt.Fprintf(&b, "  %dx%d: %d inconsistent, B-tree-split bug present: %v\n",
+			dims[0], dims[1], rep.Inconsistent, split)
+	}
+
+	// Client count: the SNOD split behind bug #9.
+	b.WriteString("\nclients (H5-parallel-create on Lustre, 3 preamble datasets; bug #9 needs the SNOD to split):\n")
+	for _, clients := range []int{1, 2} {
+		p := workloads.DefaultH5Params()
+		p.Clients = clients
+		p.PerGroup = 3
+		prog, _ := ProgramByName("H5-parallel-create")
+		rep, err := RunOne("lustre", prog, paracrash.DefaultOptions(), p, ConfigFor("lustre"))
+		if err != nil {
+			fmt.Fprintf(&b, "  %d client(s): error: %v\n", clients, err)
+			continue
+		}
+		fmt.Fprintf(&b, "  %d client(s): %d inconsistent, %d bugs\n", clients, rep.Inconsistent, len(rep.Bugs))
+	}
+
+	// File distribution: bug #6 on GlusterFS.
+	b.WriteString("\nfile distribution (WAL on GlusterFS; bug #6 needs the log on another brick):\n")
+	for _, distributed := range []bool{false, true} {
+		prog, _ := ProgramByName("WAL")
+		if distributed {
+			prog.GlusterPlacement = map[string]int{"/foo": 0, "/log": 1}
+		} else {
+			prog.GlusterPlacement = nil
+		}
+		rep, err := RunOne("glusterfs", prog, paracrash.DefaultOptions(), workloads.DefaultH5Params(), ConfigFor("glusterfs"))
+		if err != nil {
+			fmt.Fprintf(&b, "  distributed=%v: error: %v\n", distributed, err)
+			continue
+		}
+		fmt.Fprintf(&b, "  distributed=%v: %d inconsistent, %d bugs\n", distributed, rep.Inconsistent, len(rep.Bugs))
+	}
+
+	// Victim count k.
+	b.WriteString("\nvictims k (ARVR on BeeGFS; the paper found no new bugs past k=1):\n")
+	for _, k := range []int{1, 2} {
+		prog, _ := ProgramByName("ARVR")
+		opts := paracrash.DefaultOptions()
+		opts.Emulator.K = k
+		rep, err := RunOne("beegfs", prog, opts, workloads.DefaultH5Params(), ConfigFor("beegfs"))
+		if err != nil {
+			fmt.Fprintf(&b, "  k=%d: error: %v\n", k, err)
+			continue
+		}
+		fmt.Fprintf(&b, "  k=%d: %d states generated, %d bugs\n", k, rep.Stats.StatesGenerated, len(rep.Bugs))
+	}
+
+	// Journaling mode (the Table 2 "data journaling, its safest mode" note).
+	b.WriteString("\nlocal journaling mode (ARVR on ext4):\n")
+	for _, mode := range []vfs.JournalMode{vfs.JournalData, vfs.JournalOrdered, vfs.JournalWriteback} {
+		prog, _ := ProgramByName("ARVR")
+		conf := ConfigFor("ext4")
+		conf.Journal = mode
+		rep, err := RunOne("ext4", prog, paracrash.DefaultOptions(), workloads.DefaultH5Params(), conf)
+		if err != nil {
+			fmt.Fprintf(&b, "  %-16s error: %v\n", mode, err)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-16s %d inconsistent, %d bugs\n", mode, rep.Inconsistent, len(rep.Bugs))
+	}
+	return b.String()
+}

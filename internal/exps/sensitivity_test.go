@@ -1,0 +1,142 @@
+package exps
+
+import (
+	"strings"
+	"testing"
+
+	"paracrash/internal/paracrash"
+	"paracrash/internal/vfs"
+	"paracrash/internal/workloads"
+)
+
+// TestKSensitivity: raising Algorithm 1's k beyond 1 explores more states
+// but, as the paper observes (§6.2), exposes no new bug families.
+func TestKSensitivity(t *testing.T) {
+	prog, _ := ProgramByName("ARVR")
+	sigs := map[int]map[string]bool{}
+	states := map[int]int{}
+	for _, k := range []int{1, 2} {
+		opts := paracrash.DefaultOptions()
+		opts.Emulator.K = k
+		rep, err := RunOne("beegfs", prog, opts, workloads.DefaultH5Params(), ConfigFor("beegfs"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := map[string]bool{}
+		for _, b := range rep.Bugs {
+			set[b.Kind.String()+"|"+stripServerIndex(b.OpA)+"|"+stripServerIndex(b.OpB)] = true
+		}
+		sigs[k] = set
+		states[k] = rep.Stats.StatesGenerated
+	}
+	if states[2] <= states[1] {
+		t.Errorf("k=2 generated %d states, k=1 %d — should explore more", states[2], states[1])
+	}
+	for sig := range sigs[2] {
+		if !sigs[1][sig] {
+			t.Errorf("k=2 found a new bug family %q — paper found none", sig)
+		}
+	}
+	for sig := range sigs[1] {
+		if !sigs[2][sig] {
+			t.Errorf("k=2 lost bug family %q", sig)
+		}
+	}
+}
+
+// TestClientsSensitivity: the parallel-create bug family needs enough
+// collective creates to split the group's symbol table node (#clients
+// sensitivity of Table 3's bug 9).
+func TestClientsSensitivity(t *testing.T) {
+	prog, _ := ProgramByName("H5-parallel-create")
+	counts := map[int]int{}
+	for _, clients := range []int{1, 2} {
+		p := workloads.DefaultH5Params()
+		p.Clients = clients
+		p.PerGroup = 3 // 3 + clients entries: the SNOD splits at >4
+		rep, err := RunOne("lustre", prog, paracrash.DefaultOptions(), p, ConfigFor("lustre"))
+		if err != nil {
+			t.Fatalf("clients=%d: %v", clients, err)
+		}
+		counts[clients] = rep.Inconsistent
+		if clients == 2 {
+			groupStruct := false
+			for _, b := range rep.Bugs {
+				if strings.Contains(b.OpA+b.OpB, ":/g1") {
+					groupStruct = true
+				}
+			}
+			if !groupStruct {
+				t.Errorf("no group-structure bug with 2 clients: %v", bugStrings(rep))
+			}
+		}
+	}
+	if counts[2] <= counts[1] {
+		t.Errorf("inconsistencies did not grow with clients: %v", counts)
+	}
+}
+
+// TestGlusterWALNeedsDistribution: with every file anchored on brick 0
+// (the pure striped volume default) the WAL bug cannot manifest — the
+// paper's file-distribution sensitivity for bug 6.
+func TestGlusterWALNeedsDistribution(t *testing.T) {
+	prog, _ := ProgramByName("WAL")
+	prog.GlusterPlacement = nil // no distribution
+	rep, err := RunOne("glusterfs", prog, paracrash.DefaultOptions(), workloads.DefaultH5Params(), ConfigFor("glusterfs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inconsistent != 0 {
+		t.Errorf("colocated WAL should be safe on the striped volume, got %d states", rep.Inconsistent)
+	}
+	// With the paper's distribution the bug appears.
+	prog.GlusterPlacement = map[string]int{"/foo": 0, "/log": 1}
+	rep, err = RunOne("glusterfs", prog, paracrash.DefaultOptions(), workloads.DefaultH5Params(), ConfigFor("glusterfs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inconsistent == 0 {
+		t.Error("distributed WAL should expose bug 6")
+	}
+}
+
+// TestJournalModeAblation: the paper runs every local file system in data
+// journaling, its safest mode. Relaxing to writeback makes even the
+// single-node ext4 baseline fail POSIX programs — data writes reorder
+// against the metadata that exposes them.
+func TestJournalModeAblation(t *testing.T) {
+	prog, _ := ProgramByName("ARVR")
+	for _, tc := range []struct {
+		mode vfs.JournalMode
+		bugs bool
+	}{
+		{vfs.JournalData, false},
+		{vfs.JournalWriteback, true},
+	} {
+		conf := ConfigFor("ext4")
+		conf.Journal = tc.mode
+		rep, err := RunOne("ext4", prog, paracrash.DefaultOptions(), workloads.DefaultH5Params(), conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rep.Inconsistent > 0; got != tc.bugs {
+			t.Errorf("%v: inconsistent=%d, want bugs=%v", tc.mode, rep.Inconsistent, tc.bugs)
+		}
+	}
+}
+
+// TestOrderedModeIsBetweenDataAndWriteback: ordered journaling keeps ARVR
+// safe on ext4 (data persists before the rename that exposes it) — the
+// reason real ext4 defaults suffice for this pattern locally.
+func TestOrderedModeARVR(t *testing.T) {
+	prog, _ := ProgramByName("ARVR")
+	conf := ConfigFor("ext4")
+	conf.Journal = vfs.JournalOrdered
+	rep, err := RunOne("ext4", prog, paracrash.DefaultOptions(), workloads.DefaultH5Params(), conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inconsistent != 0 {
+		t.Errorf("ordered-mode ARVR on ext4: %d inconsistent states, want 0", rep.Inconsistent)
+	}
+}

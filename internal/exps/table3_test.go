@@ -1,0 +1,71 @@
+package exps
+
+import (
+	"strings"
+	"testing"
+
+	"paracrash/internal/paracrash"
+	"paracrash/internal/workloads"
+)
+
+// TestTable3Aggregation runs the full matrix and checks the aggregated bug
+// list covers the paper's structure: bugs from every program family,
+// PFS-rooted and library-rooted rows, and per-row file-system lists.
+func TestTable3Aggregation(t *testing.T) {
+	rows := Table3(paracrash.DefaultOptions(), workloads.DefaultH5Params())
+	if len(rows) < 15 {
+		t.Fatalf("only %d aggregated bug rows; the paper's 15 families need at least that many", len(rows))
+	}
+	programs := map[string]bool{}
+	layers := map[string]bool{}
+	for _, r := range rows {
+		programs[r.Program] = true
+		layers[r.Layer] = true
+		if len(r.FSes) == 0 {
+			t.Errorf("row %q/%q has no file systems", r.Program, r.OpA)
+		}
+		if r.OpA == "" || r.OpB == "" || r.Consequence == "" {
+			t.Errorf("incomplete row: %+v", r)
+		}
+	}
+	for _, prog := range []string{"ARVR", "CR", "RC", "WAL", "H5-create", "H5-delete",
+		"H5-rename", "H5-resize", "CDF-create", "H5-parallel-create", "H5-parallel-resize"} {
+		if !programs[prog] {
+			t.Errorf("no bug rows from program %s", prog)
+		}
+	}
+	for _, layer := range []string{"pfs", "hdf5", "netcdf"} {
+		if !layers[layer] {
+			t.Errorf("no bug rows attributed to the %s layer", layer)
+		}
+	}
+
+	out := FormatTable3(rows)
+	for _, want := range []string{"reordering", "atomicity", "file systems:", "consequence:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable3 missing %q", want)
+		}
+	}
+}
+
+// TestTable3LustreOnlyLibraryRows: every Lustre bug row must be
+// library-rooted or marked as a library state failure — the POSIX side of
+// Lustre is clean.
+func TestTable3LustreOnlyLibraryRows(t *testing.T) {
+	rows := Table3(paracrash.DefaultOptions(), workloads.DefaultH5Params())
+	for _, r := range rows {
+		onLustre := false
+		for _, fs := range r.FSes {
+			if fs == "lustre" {
+				onLustre = true
+			}
+		}
+		if !onLustre {
+			continue
+		}
+		posix := r.Program == "ARVR" || r.Program == "CR" || r.Program == "RC" || r.Program == "WAL"
+		if posix {
+			t.Errorf("Lustre appears in a POSIX bug row: %+v", r)
+		}
+	}
+}

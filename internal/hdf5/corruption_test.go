@@ -1,0 +1,243 @@
+package hdf5
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildImage creates the paper's initial file: /g1/d1 and /g2/d2 with data.
+func buildImage(t *testing.T) []byte {
+	t.Helper()
+	be := &MemBackend{}
+	f, err := Format(be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(f.CreateGroup("/g1"))
+	must(f.CreateGroup("/g2"))
+	must(f.CreateDataset("/g1/d1", 4, 4))
+	must(f.CreateDataset("/g2/d2", 4, 4))
+	must(f.WriteDataset("/g1/d1", []byte("0123456789abcdef")))
+	must(f.Close())
+	return be.Buf
+}
+
+// zeroExtent wipes the first matching object extent.
+func zeroExtent(t *testing.T, img []byte, kind, path string) []byte {
+	t.Helper()
+	m, err := Inspect(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append([]byte(nil), img...)
+	for _, e := range m {
+		if e.Kind == kind && e.Path == path {
+			for i := 0; i < e.Size; i++ {
+				out[e.Addr+int64(i)] = 0
+			}
+			return out
+		}
+	}
+	t.Fatalf("no %s extent for %s", kind, path)
+	return nil
+}
+
+func TestZeroedSnodCorruptsGroup(t *testing.T) {
+	img := zeroExtent(t, buildImage(t), "snod", "/g1")
+	st := Parse(img, false)
+	var g1 *LogicalObject
+	for i := range st.Objects {
+		if st.Objects[i].Path == "/g1" {
+			g1 = &st.Objects[i]
+		}
+	}
+	if g1 == nil || g1.Corrupt == "" {
+		t.Fatalf("zeroed SNOD should corrupt /g1: %s", st.Serialize())
+	}
+	if !strings.Contains(g1.Corrupt, "signature") {
+		t.Fatalf("expected a signature error, got %q", g1.Corrupt)
+	}
+	// The sibling group survives (lazy open).
+	if !strings.Contains(st.Serialize(), "dataset /g2/d2") {
+		t.Fatalf("/g2 should stay readable: %s", st.Serialize())
+	}
+}
+
+func TestZeroedHeapBreaksNames(t *testing.T) {
+	img := zeroExtent(t, buildImage(t), "heap", "/g1")
+	st := Parse(img, false)
+	if !strings.Contains(st.Serialize(), "corrupt /g1") {
+		t.Fatalf("zeroed heap should corrupt the group: %s", st.Serialize())
+	}
+}
+
+func TestZeroedOhdrBreaksOneDataset(t *testing.T) {
+	img := zeroExtent(t, buildImage(t), "ohdr", "/g1/d1")
+	st := Parse(img, false)
+	s := st.Serialize()
+	if !strings.Contains(s, "corrupt /g1/d1") || !strings.Contains(s, "dataset /g2/d2") {
+		t.Fatalf("only /g1/d1 should break: %s", s)
+	}
+}
+
+func TestZeroedSuperblockUnopenable(t *testing.T) {
+	img := buildImage(t)
+	for i := 0; i < SuperSize; i++ {
+		img[i] = 0
+	}
+	st := Parse(img, false)
+	if st.FileError == "" {
+		t.Fatal("zeroed superblock must make the file unopenable")
+	}
+}
+
+func TestTruncatedFileAddrOverflow(t *testing.T) {
+	// Chopping the file below the EOF makes high objects read as zeros:
+	// their parse errors must mention the failure, not panic.
+	img := buildImage(t)
+	st := Parse(img[:len(img)/2], false)
+	bad := 0
+	for _, o := range st.Objects {
+		if o.Corrupt != "" {
+			bad++
+		}
+	}
+	if st.FileError == "" && bad == 0 {
+		t.Fatalf("truncated file parsed clean:\n%s", st.Serialize())
+	}
+}
+
+func TestClearIncreaseEOF(t *testing.T) {
+	// A stale superblock EOF (as when the resize's superblock write was
+	// lost) hides the tail; h5clear --increase-eof repairs the window.
+	be := &MemBackend{}
+	f, err := Format(be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CreateDataset("/d", 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	img := append([]byte(nil), be.Buf...)
+	// Regress the superblock to a tiny EOF.
+	var sup superBlock
+	if err := decodeObject(img, 0, SigSuper, SuperSize, &sup); err != nil {
+		t.Fatal(err)
+	}
+	short := sup
+	short.EOF = SuperSize + OhdrSize // hides everything past the root ohdr
+	copy(img, encodeObject(SigSuper, short, SuperSize))
+	st := Parse(img, false)
+	if st.Readable() {
+		t.Fatal("stale EOF should break parsing")
+	}
+	fixed, changed := Clear(img, true)
+	if !changed {
+		t.Fatal("Clear(increaseEOF) should change the image")
+	}
+	if st := Parse(fixed, false); !st.Readable() {
+		t.Fatalf("increase-eof did not repair: %s", st.Serialize())
+	}
+}
+
+// TestQuickLibraryRoundTrip: random op sequences through the library parse
+// back to a state containing exactly the surviving datasets.
+func TestQuickLibraryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		be := &MemBackend{}
+		file, err := Format(be)
+		if err != nil {
+			return false
+		}
+		if file.CreateGroup("/g") != nil {
+			return false
+		}
+		live := map[string]bool{}
+		names := []string{"/g/a", "/g/b", "/g/c"}
+		for i := 0; i < 12; i++ {
+			p := names[r.Intn(len(names))]
+			switch r.Intn(4) {
+			case 0:
+				if file.CreateDataset(p, 4, 4) == nil {
+					live[p] = true
+				}
+			case 1:
+				if file.Delete(p) == nil {
+					delete(live, p)
+				}
+			case 2:
+				data := make([]byte, 16)
+				r.Read(data)
+				_ = file.WriteDataset(p, data)
+			case 3:
+				q := names[r.Intn(len(names))]
+				if file.Move(p, q) == nil {
+					delete(live, p)
+					live[q] = true
+				}
+			}
+		}
+		if file.Close() != nil {
+			return false
+		}
+		st := Parse(be.Buf, false)
+		if !st.Readable() {
+			return false
+		}
+		parsed := map[string]bool{}
+		for _, o := range st.Objects {
+			if !o.Group {
+				parsed[o.Path] = true
+			}
+		}
+		if len(parsed) != len(live) {
+			return false
+		}
+		for p := range live {
+			if !parsed[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParseNeverPanics: parsing arbitrary mutations of a valid image
+// returns errors, never panics.
+func TestQuickParseNeverPanics(t *testing.T) {
+	base := buildImage(t)
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		img := append([]byte(nil), base...)
+		for i := 0; i < 24; i++ {
+			img[r.Intn(len(img))] = byte(r.Intn(256))
+		}
+		_ = Parse(img, false)
+		_ = Parse(img, true)
+		_, _ = Inspect(img)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package hdf5
+
+import (
+	"testing"
+)
+
+// FuzzParse hammers the h5check parser with mutated file images: parsing
+// must never panic and must classify every image as either cleanly
+// readable or corrupt with a reason — the property the golden-master
+// comparison relies on when crash states tear metadata.
+func FuzzParse(f *testing.F) {
+	be := &MemBackend{}
+	file, err := Format(be)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := file.CreateGroup("/g1"); err != nil {
+		f.Fatal(err)
+	}
+	if err := file.CreateDataset("/g1/d1", 4, 4); err != nil {
+		f.Fatal(err)
+	}
+	if err := file.WriteDataset("/g1/d1", []byte("0123456789abcdef")); err != nil {
+		f.Fatal(err)
+	}
+	if err := file.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(be.Buf)
+	f.Add(be.Buf[:len(be.Buf)/2])
+	f.Add([]byte{})
+	f.Add([]byte("\x89HDFgarbage"))
+
+	f.Fuzz(func(t *testing.T, img []byte) {
+		st := Parse(img, false)
+		// Serialisation must be total and stable.
+		s1, s2 := st.Serialize(), st.Serialize()
+		if s1 != s2 {
+			t.Fatal("Serialize is not deterministic")
+		}
+		// Strict mode must be at least as corrupt as lazy mode.
+		strict := Parse(img, true)
+		if strict.Readable() && !st.Readable() {
+			t.Fatal("strict parse readable where lazy parse is corrupt")
+		}
+		// The tools must be total too.
+		_, _ = Clear(img, true)
+		_, _ = Inspect(img)
+		_, _ = Status(img)
+	})
+}

@@ -1,0 +1,122 @@
+package hdf5
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Status returns the superblock status flag of a file image (non-zero
+// means the file was open for write — what h5clear clears).
+func Status(img []byte) (int, error) {
+	var sup superBlock
+	if err := decodeObject(img, 0, SigSuper, SuperSize, &sup); err != nil {
+		return 0, err
+	}
+	return sup.Status, nil
+}
+
+// Clear implements h5clear: it clears the superblock status flags, and
+// with increaseEOF (h5clear --increase-eof-of-superblock) raises the
+// superblock EOF to the actual file size, which can make addresses written
+// beyond a stale EOF readable again (the paper's bug #13 sensitivity on
+// "h5clear options"). It returns the repaired image and whether anything
+// changed; an unreadable superblock cannot be repaired.
+func Clear(img []byte, increaseEOF bool) ([]byte, bool) {
+	var sup superBlock
+	if err := decodeObject(img, 0, SigSuper, SuperSize, &sup); err != nil {
+		return img, false
+	}
+	changed := false
+	if sup.Status != 0 {
+		sup.Status = 0
+		changed = true
+	}
+	if increaseEOF && sup.EOF < int64(len(img)) {
+		sup.EOF = int64(len(img))
+		changed = true
+	}
+	if !changed {
+		return img, false
+	}
+	out := append([]byte(nil), img...)
+	copy(out, encodeObject(SigSuper, sup, SuperSize))
+	return out, true
+}
+
+// ObjectExtent maps a byte range of the file to the library data structure
+// stored there — the h5inspect output used for trace correlation
+// (Figure 4) and semantic state pruning (§5.3).
+type ObjectExtent struct {
+	Addr int64  `json:"addr"`
+	Size int    `json:"size"`
+	Kind string `json:"kind"` // superblock, ohdr, btree, heap, snod, chunk
+	Path string `json:"path"` // owning object path
+}
+
+// Inspect walks a file image and returns its object map, sorted by
+// address. Unreadable subtrees are skipped (their extents are unknown).
+func Inspect(img []byte) ([]ObjectExtent, error) {
+	var sup superBlock
+	if err := decodeObject(img, 0, SigSuper, SuperSize, &sup); err != nil {
+		return nil, fmt.Errorf("h5inspect: %w", err)
+	}
+	out := []ObjectExtent{{Addr: 0, Size: SuperSize, Kind: "superblock", Path: "/"}}
+	var walkGroup func(addr int64, path string)
+	walkGroup = func(addr int64, path string) {
+		var oh objectHeader
+		if decodeObject(img, addr, SigOhdr, OhdrSize, &oh) != nil {
+			return
+		}
+		out = append(out, ObjectExtent{Addr: addr, Size: OhdrSize, Kind: "ohdr", Path: path})
+		if !oh.Group {
+			if chunks, err := collectLeaves(img, oh.ChunkTree, 0); err == nil {
+				out = append(out, ObjectExtent{Addr: oh.ChunkTree, Size: TreeSize, Kind: "btree", Path: path})
+				for i, c := range chunks {
+					out = append(out, ObjectExtent{Addr: c, Size: ChunkSize, Kind: "chunk", Path: fmt.Sprintf("%s[%d]", path, i)})
+				}
+			}
+			return
+		}
+		out = append(out, ObjectExtent{Addr: oh.Btree, Size: TreeSize, Kind: "btree", Path: path})
+		out = append(out, ObjectExtent{Addr: oh.Heap, Size: HeapSize, Kind: "heap", Path: path})
+		var heap localHeap
+		if decodeObject(img, oh.Heap, SigHeap, HeapSize, &heap) != nil {
+			return
+		}
+		snods, err := collectLeaves(img, oh.Btree, 0)
+		if err != nil {
+			return
+		}
+		for _, sa := range snods {
+			out = append(out, ObjectExtent{Addr: sa, Size: SnodSize, Kind: "snod", Path: path})
+			var sn symbolNode
+			if decodeObject(img, sa, SigSnod, SnodSize, &sn) != nil {
+				continue
+			}
+			for _, e := range sn.Entries {
+				name, err := heapName(&heap, e.NameOff)
+				if err != nil {
+					continue
+				}
+				cpath := path + name
+				if path != "/" {
+					cpath = path + "/" + name
+				}
+				walkGroup(e.Ohdr, cpath)
+			}
+		}
+	}
+	walkGroup(sup.Root, "/")
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out, nil
+}
+
+// InspectJSON renders the object map as the JSON document h5inspect emits.
+func InspectJSON(img []byte) ([]byte, error) {
+	m, err := Inspect(img)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(m, "", "  ")
+}

@@ -1,0 +1,94 @@
+package mpiio
+
+import (
+	"testing"
+
+	"paracrash/internal/causality"
+	"paracrash/internal/pfs"
+	"paracrash/internal/pfs/extfs"
+	"paracrash/internal/trace"
+)
+
+func newFS(t *testing.T) pfs.FileSystem {
+	t.Helper()
+	conf := pfs.DefaultConfig()
+	conf.MetaServers = 0
+	conf.StorageServers = 1
+	return extfs.New(conf, trace.NewRecorder())
+}
+
+func TestOpenWriteReadClose(t *testing.T) {
+	fs := newFS(t)
+	f, err := Open(fs, 0, "/file", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteAt(0, []byte("hello"), "tag"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.ReadAll()
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadAll = %q, %v", b, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, o := range fs.Recorder().Ops() {
+		if o.Layer == trace.LayerMPI {
+			names = append(names, o.Name)
+		}
+	}
+	want := []string{"MPI_File_open(MODE_CREATE)", "MPI_File_write_at", "MPI_File_sync", "MPI_File_close"}
+	if len(names) != len(want) {
+		t.Fatalf("MPI ops = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("MPI op %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+// TestBarrierInducesAllPairCausality: an op before the barrier on rank 0
+// happens-before an op after the barrier on rank 1, and vice versa.
+func TestBarrierInducesAllPairCausality(t *testing.T) {
+	rec := trace.NewRecorder()
+	a := rec.Record(trace.Op{Layer: trace.LayerApp, Proc: "client/0", Name: "before0"})
+	b := rec.Record(trace.Op{Layer: trace.LayerApp, Proc: "client/1", Name: "before1"})
+	Barrier(rec, []string{"client/0", "client/1"})
+	c := rec.Record(trace.Op{Layer: trace.LayerApp, Proc: "client/0", Name: "after0"})
+	d := rec.Record(trace.Op{Layer: trace.LayerApp, Proc: "client/1", Name: "after1"})
+
+	g := causality.Build(rec.Ops())
+	idx := func(op *trace.Op) int {
+		i, ok := g.IndexOf(op.ID)
+		if !ok {
+			t.Fatalf("op %v not in graph", op)
+		}
+		return i
+	}
+	for _, pair := range [][2]*trace.Op{{a, c}, {a, d}, {b, c}, {b, d}} {
+		if !g.HB(idx(pair[0]), idx(pair[1])) {
+			t.Errorf("%s should happen-before %s through the barrier", pair[0].Name, pair[1].Name)
+		}
+	}
+	// Before-ops on different ranks stay concurrent.
+	if g.HB(idx(a), idx(b)) || g.HB(idx(b), idx(a)) {
+		t.Error("pre-barrier ops must stay concurrent")
+	}
+}
+
+func TestOpenMissingFileFails(t *testing.T) {
+	fs := newFS(t)
+	f, err := Open(fs, 0, "/missing", false)
+	if err != nil {
+		t.Fatal(err) // open itself is lazy; the read must fail
+	}
+	if _, err := f.ReadAll(); err == nil {
+		t.Fatal("reading a missing file should fail")
+	}
+}

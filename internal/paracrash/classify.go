@@ -1,0 +1,400 @@
+package paracrash
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paracrash/internal/causality"
+	"paracrash/internal/trace"
+)
+
+// BugKind distinguishes the paper's two failure patterns (Table 1).
+type BugKind int
+
+const (
+	// BugUnknown marks inconsistencies whose pairwise pattern could not be
+	// isolated (e.g. multi-op interactions beyond the pair tests).
+	BugUnknown BugKind = iota
+	// BugReordering: OA should persist before OB but the state where OA is
+	// lost and OB persisted fails (Table 1a).
+	BugReordering
+	// BugAtomicity: OA and OB must persist together; either mixed state
+	// fails (Table 1b).
+	BugAtomicity
+)
+
+// String returns the report name of the kind.
+func (k BugKind) String() string {
+	switch k {
+	case BugReordering:
+		return "reordering"
+	case BugAtomicity:
+		return "atomicity"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON renders the kind by name (for machine-readable reports).
+func (k BugKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// Bug is a deduplicated crash-consistency bug.
+type Bug struct {
+	Kind BugKind
+	// Layer is the I/O layer the bug is attributed to ("pfs" or the
+	// library name, e.g. "hdf5").
+	Layer string
+	// FS is the file system under test.
+	FS string
+	// Program is the test program that exposed the bug.
+	Program string
+	// OpA and OpB are the involved operation signatures; for reordering
+	// bugs OpA should persist before OpB but was observed lost while OpB
+	// survived.
+	OpA, OpB string
+	// Consequence summarises the observed damage.
+	Consequence string
+	// States counts the distinct inconsistent crash states deduplicated
+	// into this bug.
+	States int
+}
+
+// Signature returns the dedup key (paper §5.2): bugs with the same cause
+// share the kind and the normalised operation pair (including the I/O
+// library objects carried in tags).
+func (b *Bug) Signature() string {
+	return fmt.Sprintf("%s|%s|%s|%s", b.Kind, b.Layer, b.OpA, b.OpB)
+}
+
+// OpSignature renders an op in the paper's "op(object)@server#i" notation
+// for display.
+func OpSignature(o *trace.Op) string {
+	obj := o.Tag
+	if obj == "" {
+		obj = o.Path
+	}
+	return fmt.Sprintf("%s(%s)@%s", o.Name, obj, strings.ReplaceAll(o.Proc, "/", "#"))
+}
+
+// OpSignatureClass is OpSignature with the server index stripped — the
+// aggregation key (paper §5.2: bugs involving the same operations on the
+// same structures share a cause regardless of which server they landed on).
+func OpSignatureClass(o *trace.Op) string {
+	proc := o.Proc
+	if i := strings.IndexByte(proc, '/'); i >= 0 {
+		proc = proc[:i]
+	}
+	obj := o.Tag
+	if obj == "" {
+		obj = o.Path
+	}
+	return fmt.Sprintf("%s(%s)@%s", o.Name, obj, proc)
+}
+
+// Classifier isolates the failure pattern of an inconsistent crash state by
+// re-testing targeted persistence combinations (Table 1), using a
+// minimal-culprit search: for a victim operation OA, the culprit OB is the
+// causally earliest surviving operation whose presence makes the state
+// illegal. The check function reconstructs a crash state and reports
+// whether it is consistent.
+type Classifier struct {
+	G  *causality.Graph
+	PO *causality.PersistOrder
+	// Check reconstructs and checks a crash state, returning whether it is
+	// consistent and (when inconsistent) the canonical content of the
+	// recovered state at the failing layer.
+	Check func(cs CrashState) (bool, string)
+	cache map[string]classifyCheck
+}
+
+type classifyCheck struct {
+	pass  bool
+	state string
+}
+
+// NewClassifier returns a classifier over the emulator's graph.
+func NewClassifier(e *Emulator, check func(cs CrashState) (bool, string)) *Classifier {
+	return &Classifier{G: e.G, PO: e.PO, Check: check, cache: map[string]classifyCheck{}}
+}
+
+func (c *Classifier) checkCached(cs CrashState) classifyCheck {
+	key := cs.Front.Key() + "|" + cs.Keep.Key()
+	if v, ok := c.cache[key]; ok {
+		return v
+	}
+	pass, state := c.Check(cs)
+	v := classifyCheck{pass: pass, state: state}
+	c.cache[key] = v
+	return v
+}
+
+// PairResult describes one classified pair.
+type PairResult struct {
+	Kind BugKind
+	A, B int // graph node indices (A dropped / should-persist-first)
+	ASig string
+	BSig string
+	// BClass is the culprit's class signature (server index stripped), the
+	// aggregation key.
+	BClass string
+	// StateKey is the canonical content of the minimal failing state.
+	StateKey string
+	// GroupKey, when non-empty, overrides the dedup key (used for in-flight
+	// atomicity, where every split of the same parent op is one bug).
+	GroupKey string
+}
+
+// downTo returns the replayable members of the front that are b or strictly
+// happen-before b.
+func (c *Classifier) downTo(front causality.Bitset, b int) causality.Bitset {
+	out := causality.NewBitset(c.G.Len())
+	for _, x := range front.Members() {
+		if x == b || c.G.HB(x, b) {
+			out.Set(x)
+		}
+	}
+	return out
+}
+
+// ClassifyState isolates the operation pairs responsible for an
+// inconsistent crash state. lo is the LayerOps of the layer the
+// inconsistency was attributed to (used to detect in-flight atomicity);
+// state is the canonical content of the inconsistent recovered state.
+func (c *Classifier) ClassifyState(cs CrashState, lo *LayerOps, state string) []PairResult {
+	if len(cs.Victims) == 0 {
+		return c.classifyInFlight(cs, lo, state)
+	}
+	var results []PairResult
+	for _, v := range cs.Victims {
+		if pr, ok := c.classifyVictim(cs, v); ok {
+			results = append(results, pr)
+		}
+	}
+	if len(results) == 0 {
+		// No victim-caused pair isolated: the crash front itself may split
+		// an operation that should have been atomic.
+		return c.classifyInFlight(cs, lo, state)
+	}
+	return results
+}
+
+// classifyVictim finds the minimal culprit for victim v: the causally
+// earliest kept op b such that keeping exactly b's causal past (minus v's
+// persistence closure) already fails the check. It then distinguishes
+// reordering from atomicity by testing the opposite mixed state.
+func (c *Classifier) classifyVictim(cs CrashState, v int) (PairResult, bool) {
+	vClosure := c.PO.DependsOn(v, cs.Front)
+	// Candidates: kept ops causally after v, in recording order (a
+	// topological order), so the first failing candidate whose strict
+	// predecessors all pass is the minimal culprit.
+	var cands []int
+	for _, b := range cs.Keep.Members() {
+		ob := c.G.Ops[b]
+		if !ob.IsLowermost() || ob.Payload == nil || ob.Sync {
+			continue
+		}
+		if c.G.HB(v, b) && !vClosure.Get(b) {
+			cands = append(cands, b)
+		}
+	}
+	sort.Ints(cands)
+
+	failed := map[int]bool{}
+	culprit := -1
+	culpritState := ""
+	for _, b := range cands {
+		base := c.downTo(cs.Front, b)
+		keep := base.Clone()
+		keep.Subtract(vClosure)
+		res := c.checkCached(CrashState{Front: cs.Front, Keep: keep, Victims: []int{v}})
+		if res.pass {
+			continue
+		}
+		// The failure must be caused by losing the victim: if the same cut
+		// fails with the victim kept, the cut itself is the problem (an
+		// in-flight atomicity handled elsewhere), not this victim.
+		if !c.checkCached(CrashState{Front: cs.Front, Keep: base}).pass {
+			continue
+		}
+		failed[b] = true
+		culpritState = res.state
+		// Minimal: no failing strict predecessor among candidates.
+		minimal := true
+		for _, b2 := range cands {
+			if b2 != b && failed[b2] && c.G.HB(b2, b) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			culprit = b
+			break
+		}
+	}
+	if culprit < 0 {
+		return PairResult{}, false
+	}
+
+	// Distinguish reordering from atomicity: keep v, drop the culprit.
+	bClosure := c.PO.DependsOn(culprit, cs.Front)
+	s10 := c.downTo(cs.Front, culprit)
+	s10.Subtract(bClosure)
+	s10Pass := c.checkCached(CrashState{Front: cs.Front, Keep: s10, Victims: []int{culprit}}).pass
+	s00 := c.downTo(cs.Front, culprit)
+	s00.Subtract(bClosure)
+	s00.Subtract(vClosure)
+	s00Pass := c.checkCached(CrashState{Front: cs.Front, Keep: s00, Victims: []int{v, culprit}}).pass
+
+	// Paper §5.3: the state with OA lost and OB persisted fails while other
+	// combinations pass ⇒ reordering; both mixed states fail with both pure
+	// states passing ⇒ atomicity. When s00 is polluted by an unrelated bug
+	// (it fails too), the baseline pass (checked above) stands in for the
+	// "any other combination passes" condition and we default to
+	// reordering, as the paper does.
+	kind := BugReordering
+	if !s10Pass && s00Pass {
+		kind = BugAtomicity
+	}
+	return PairResult{
+		Kind: kind, A: v, B: culprit,
+		ASig: OpSignature(c.G.Ops[v]), BSig: OpSignature(c.G.Ops[culprit]),
+		BClass:   OpSignatureClass(c.G.Ops[culprit]),
+		StateKey: culpritState,
+	}, true
+}
+
+// classifyInFlight handles victimless inconsistent states: the crash front
+// split the storage footprint of a layer operation that should have been
+// atomic. The missing and surviving descendants of the in-flight op form an
+// atomicity pair.
+func (c *Classifier) classifyInFlight(cs CrashState, lo *LayerOps, state string) []PairResult {
+	if lo == nil {
+		return nil
+	}
+	status := lo.StatusAgainst(cs.Front)
+	var results []PairResult
+	for i, st := range status {
+		if st != StatusInflight {
+			continue
+		}
+		var present, missing int = -1, -1
+		for _, d := range lo.descendants[i] {
+			if c.G.Ops[d].Sync {
+				continue // syncs carry no state; name the real writes
+			}
+			if cs.Front.Get(d) {
+				if present < 0 || d > present {
+					present = d
+				}
+			} else if missing < 0 || d < missing {
+				missing = d
+			}
+		}
+		if present < 0 || missing < 0 {
+			continue
+		}
+		results = append(results, PairResult{
+			Kind: BugAtomicity, A: missing, B: present,
+			ASig: OpSignature(c.G.Ops[missing]), BSig: OpSignature(c.G.Ops[present]),
+			BClass:   OpSignatureClass(c.G.Ops[present]),
+			StateKey: state,
+			GroupKey: "inflight|" + lo.Ops[i].Key(),
+		})
+	}
+	return results
+}
+
+// BugSet aggregates classified pairs into deduplicated bugs. Two pairs
+// share a root cause when they have the same kind, layer, culprit operation
+// and failing-state content (paper §5.2); the representative victim is the
+// causally latest one, which is the common element of every implied
+// persistence closure.
+type BugSet struct {
+	bugs  map[string]*Bug
+	bestA map[string]int
+	// knownBad records op-identity pairs already attributed; the pruning
+	// exploration mode keys on these (paper §5.3).
+	knownBadReorder map[[2]int]bool
+	knownBadAtomic  map[[2]int]bool
+}
+
+// NewBugSet returns an empty aggregate.
+func NewBugSet() *BugSet {
+	return &BugSet{
+		bugs:            map[string]*Bug{},
+		bestA:           map[string]int{},
+		knownBadReorder: map[[2]int]bool{},
+		knownBadAtomic:  map[[2]int]bool{},
+	}
+}
+
+// Add records a classified pair for the given program/fs/layer and returns
+// the (possibly pre-existing) bug.
+func (s *BugSet) Add(pr PairResult, layer, fsName, program, consequence string) *Bug {
+	if pr.Kind == BugReordering {
+		s.knownBadReorder[[2]int{pr.A, pr.B}] = true
+	} else if pr.Kind == BugAtomicity {
+		s.knownBadAtomic[[2]int{pr.A, pr.B}] = true
+		s.knownBadAtomic[[2]int{pr.B, pr.A}] = true
+	}
+	// Group by kind, layer and culprit: every victim whose loss manifests
+	// against the same surviving operation shares the root cause, and the
+	// causally latest victim (the common element of all implied persistence
+	// closures) is the canonical OpA. In-flight atomicity overrides the key
+	// with its parent operation.
+	bclass := pr.BClass
+	if bclass == "" {
+		bclass = pr.BSig
+	}
+	group := fmt.Sprintf("%s|%s|%s", pr.Kind, layer, bclass)
+	if pr.GroupKey != "" {
+		group = fmt.Sprintf("%s|%s|%s", pr.Kind, layer, pr.GroupKey)
+	}
+	if old, ok := s.bugs[group]; ok {
+		old.States++
+		if pr.A > s.bestA[group] {
+			s.bestA[group] = pr.A
+			old.OpA = pr.ASig
+		}
+		return old
+	}
+	b := &Bug{
+		Kind: pr.Kind, Layer: layer, FS: fsName, Program: program,
+		OpA: pr.ASig, OpB: pr.BSig, Consequence: consequence, States: 1,
+	}
+	s.bugs[group] = b
+	s.bestA[group] = pr.A
+	return b
+}
+
+// KnownBad reports whether the crash state matches an already-identified
+// scenario: a known reordering pair with OA dropped and OB kept, or a known
+// atomic pair split across the persistence boundary.
+func (s *BugSet) KnownBad(cs CrashState) bool {
+	dropped := cs.Front.Clone()
+	dropped.Subtract(cs.Keep)
+	for pair := range s.knownBadReorder {
+		if dropped.Get(pair[0]) && cs.Keep.Get(pair[1]) {
+			return true
+		}
+	}
+	for pair := range s.knownBadAtomic {
+		if dropped.Get(pair[0]) && cs.Keep.Get(pair[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Bugs returns the deduplicated bugs sorted by signature for stable output.
+func (s *BugSet) Bugs() []*Bug {
+	out := make([]*Bug, 0, len(s.bugs))
+	for _, b := range s.bugs {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Signature() < out[j].Signature() })
+	return out
+}

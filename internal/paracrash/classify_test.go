@@ -1,0 +1,152 @@
+package paracrash
+
+import (
+	"testing"
+
+	"paracrash/internal/causality"
+	"paracrash/internal/trace"
+	"paracrash/internal/vfs"
+)
+
+// synthFixture builds a two-server trace whose "storage semantics" are
+// decided by a programmable check function, letting the Table 1 truth
+// tables be verified directly: op A on server a happens-before op B on
+// server b, with no sync (so any subset of {A,B} is a feasible crash
+// state).
+func synthFixture() (*Emulator, causality.Bitset, int, int) {
+	rec := trace.NewRecorder()
+	a := rec.Record(trace.Op{Layer: trace.LayerLocalFS, Proc: "a", Name: "opA",
+		Payload: vfs.Op{Kind: vfs.OpCreate, Path: "/A"}})
+	m := rec.NewMsgID()
+	rec.Record(trace.Op{Layer: trace.LayerLocalFS, Proc: "a", Name: "send", MsgID: m, IsSend: true})
+	rec.Record(trace.Op{Layer: trace.LayerLocalFS, Proc: "b", Name: "recv", MsgID: m})
+	b := rec.Record(trace.Op{Layer: trace.LayerLocalFS, Proc: "b", Name: "opB",
+		Payload: vfs.Op{Kind: vfs.OpCreate, Path: "/B"}})
+	g := causality.Build(rec.Ops())
+	e := NewEmulator(g, causality.PersistConfig{
+		Journal: map[string]vfs.JournalMode{"a": vfs.JournalData, "b": vfs.JournalData},
+	})
+	front := causality.NewBitset(g.Len())
+	ai, _ := g.IndexOf(a.ID)
+	bi, _ := g.IndexOf(b.ID)
+	front.Set(ai)
+	front.Set(bi)
+	return e, front, ai, bi
+}
+
+// checkerFor builds a Check function that fails exactly the listed
+// (hasA, hasB) combinations.
+func checkerFor(ai, bi int, fail map[[2]bool]bool) func(CrashState) (bool, string) {
+	return func(cs CrashState) (bool, string) {
+		combo := [2]bool{cs.Keep.Get(ai), cs.Keep.Get(bi)}
+		if fail[combo] {
+			return false, "synthetic-failure"
+		}
+		return true, ""
+	}
+}
+
+func TestClassifyReorderingTruthTable(t *testing.T) {
+	// Table 1a: only (A lost, B persisted) fails -> reordering A -> B.
+	e, front, ai, bi := synthFixture()
+	c := NewClassifier(e, checkerFor(ai, bi, map[[2]bool]bool{{false, true}: true}))
+	cs := CrashState{Front: front, Keep: front.Clone(), Victims: []int{ai}}
+	cs.Keep.Clear(ai)
+	results := c.ClassifyState(cs, nil, "synthetic-failure")
+	if len(results) != 1 {
+		t.Fatalf("results = %+v", results)
+	}
+	pr := results[0]
+	if pr.Kind != BugReordering || pr.A != ai || pr.B != bi {
+		t.Fatalf("classified %v (%d -> %d), want reordering %d -> %d", pr.Kind, pr.A, pr.B, ai, bi)
+	}
+}
+
+func TestClassifyAtomicityTruthTable(t *testing.T) {
+	// Table 1b: both mixed states fail -> atomicity [A, B].
+	e, front, ai, bi := synthFixture()
+	c := NewClassifier(e, checkerFor(ai, bi, map[[2]bool]bool{
+		{false, true}: true,
+		{true, false}: true,
+	}))
+	cs := CrashState{Front: front, Keep: front.Clone(), Victims: []int{ai}}
+	cs.Keep.Clear(ai)
+	results := c.ClassifyState(cs, nil, "synthetic-failure")
+	if len(results) != 1 || results[0].Kind != BugAtomicity {
+		t.Fatalf("results = %+v, want one atomicity pair", results)
+	}
+}
+
+func TestClassifyNoPairWhenOnlyCutBroken(t *testing.T) {
+	// If the state fails regardless of the victim (the cut itself is the
+	// problem), no victim-caused pair may be reported.
+	e, front, ai, bi := synthFixture()
+	c := NewClassifier(e, checkerFor(ai, bi, map[[2]bool]bool{
+		{false, true}: true,
+		{true, true}:  true, // even the full state fails
+	}))
+	cs := CrashState{Front: front, Keep: front.Clone(), Victims: []int{ai}}
+	cs.Keep.Clear(ai)
+	results := c.ClassifyState(cs, nil, "synthetic-failure")
+	for _, pr := range results {
+		if pr.Kind == BugReordering && pr.A == ai {
+			t.Fatalf("victim blamed although the baseline cut fails too: %+v", pr)
+		}
+	}
+}
+
+func TestBugSetDedupAndKnownBad(t *testing.T) {
+	e, front, ai, bi := synthFixture()
+	_ = e
+	set := NewBugSet()
+	pr := PairResult{Kind: BugReordering, A: ai, B: bi,
+		ASig: "opA()@a", BSig: "opB()@b", BClass: "opB()@b"}
+	b1 := set.Add(pr, "pfs", "fsx", "prog", "c")
+	b2 := set.Add(pr, "pfs", "fsx", "prog", "c")
+	if b1 != b2 || b1.States != 2 {
+		t.Fatalf("dedup failed: %+v vs %+v", b1, b2)
+	}
+	if len(set.Bugs()) != 1 {
+		t.Fatalf("Bugs() = %d entries", len(set.Bugs()))
+	}
+	// KnownBad matches the recorded scenario.
+	bad := CrashState{Front: front, Keep: front.Clone()}
+	bad.Keep.Clear(ai)
+	if !set.KnownBad(bad) {
+		t.Fatal("scenario with A lost and B kept should be known-bad")
+	}
+	good := CrashState{Front: front, Keep: front.Clone()}
+	if set.KnownBad(good) {
+		t.Fatal("fully persisted state must not be known-bad")
+	}
+}
+
+func TestBugSetLatestVictimWins(t *testing.T) {
+	set := NewBugSet()
+	set.Add(PairResult{Kind: BugReordering, A: 3, B: 9, ASig: "early", BSig: "culprit", BClass: "culprit"},
+		"pfs", "fs", "p", "c")
+	got := set.Add(PairResult{Kind: BugReordering, A: 7, B: 9, ASig: "late", BSig: "culprit", BClass: "culprit"},
+		"pfs", "fs", "p", "c")
+	if got.OpA != "late" {
+		t.Fatalf("representative OpA = %q, want the causally latest victim", got.OpA)
+	}
+	set.Add(PairResult{Kind: BugReordering, A: 1, B: 9, ASig: "earliest", BSig: "culprit", BClass: "culprit"},
+		"pfs", "fs", "p", "c")
+	if set.Bugs()[0].OpA != "late" {
+		t.Fatalf("earlier victim displaced the representative: %q", set.Bugs()[0].OpA)
+	}
+}
+
+func TestOpSignatureForms(t *testing.T) {
+	op := &trace.Op{Name: "pwrite", Proc: "storage/1", Tag: "chunk"}
+	if got := OpSignature(op); got != "pwrite(chunk)@storage#1" {
+		t.Errorf("OpSignature = %q", got)
+	}
+	if got := OpSignatureClass(op); got != "pwrite(chunk)@storage" {
+		t.Errorf("OpSignatureClass = %q", got)
+	}
+	noTag := &trace.Op{Name: "rename", Proc: "meta/0", Path: "/a"}
+	if got := OpSignatureClass(noTag); got != "rename(/a)@meta" {
+		t.Errorf("path fallback = %q", got)
+	}
+}

@@ -1,0 +1,175 @@
+package paracrash
+
+import (
+	"paracrash/internal/causality"
+	"paracrash/internal/trace"
+)
+
+// FrontMode selects how crash fronts (consistent cuts) are enumerated.
+type FrontMode int
+
+const (
+	// FrontEnd emulates a crash after the whole program executed; only
+	// persistence reordering is explored.
+	FrontEnd FrontMode = iota
+	// FrontAllCuts enumerates every consistent cut of the lowermost
+	// causality graph as a potential crash front (the paper's normal
+	// states), bounded by MaxFronts.
+	FrontAllCuts
+)
+
+// CrashState is one emulated post-crash storage state: the lowermost ops
+// that executed before the crash (Front) and the subset of those that
+// persisted (Keep). Applying Keep in recording order to the initial
+// snapshot reconstructs the state.
+type CrashState struct {
+	// Front and Keep are bitsets over causality-graph node indices.
+	Front causality.Bitset
+	Keep  causality.Bitset
+	// Victims are the graph nodes chosen as unpersisted seeds (Algorithm
+	// 1's victim set); Keep = Front minus the persistence closure of the
+	// victims.
+	Victims []int
+}
+
+// EmulatorConfig bounds crash-state generation.
+type EmulatorConfig struct {
+	// K is the maximum number of victims per front (Algorithm 1's k).
+	K int
+	// FrontMode selects the crash-front enumeration.
+	FrontMode FrontMode
+	// MaxFronts caps consistent-cut enumeration (0 = unlimited).
+	MaxFronts int
+	// MaxStates caps the total number of generated crash states (0 =
+	// unlimited).
+	MaxStates int
+	// VictimFilter, when non-nil, rejects victim candidates (used by the
+	// semantic pruning: data-chunk writes are not reordered).
+	VictimFilter func(*trace.Op) bool
+}
+
+// Emulator generates crash states from a traced execution (Algorithm 1).
+type Emulator struct {
+	G        *causality.Graph
+	Universe []int // replayable lowermost node indices, in recording order
+	PO       *causality.PersistOrder
+}
+
+// NewEmulator prepares crash emulation over the trace graph. The universe
+// is every lowermost op carrying a replayable payload (communication events
+// participate in causality but are not replayed).
+func NewEmulator(g *causality.Graph, pc causality.PersistConfig) *Emulator {
+	var universe []int
+	for i, o := range g.Ops {
+		if o.IsLowermost() && o.Payload != nil {
+			universe = append(universe, i)
+		}
+	}
+	return &Emulator{
+		G:        g,
+		Universe: universe,
+		PO:       causality.NewPersistOrder(g, universe, pc),
+	}
+}
+
+// Generate enumerates crash states, invoking visit for each; enumeration
+// stops when visit returns false. Duplicate (Front, Keep) pairs are
+// suppressed. Returns the number of states visited.
+func (e *Emulator) Generate(cfg EmulatorConfig, visit func(CrashState) bool) int {
+	seen := map[string]bool{}
+	count := 0
+	stopped := false
+
+	emit := func(cs CrashState) bool {
+		// Skip physically impossible states: an op covered by a completed
+		// sync cannot be lost.
+		if !e.PO.SyncFeasible(cs.Front, cs.Keep) {
+			return true
+		}
+		key := cs.Front.Key() + "|" + cs.Keep.Key()
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		count++
+		if !visit(cs) {
+			stopped = true
+			return false
+		}
+		if cfg.MaxStates > 0 && count >= cfg.MaxStates {
+			stopped = true
+			return false
+		}
+		return true
+	}
+
+	perFront := func(front causality.Bitset) bool {
+		// Victim candidates: lowermost ops inside the front.
+		var cands []int
+		for _, i := range e.Universe {
+			if !front.Get(i) {
+				continue
+			}
+			if cfg.VictimFilter != nil && !cfg.VictimFilter(e.G.Ops[i]) {
+				continue
+			}
+			cands = append(cands, i)
+		}
+		// n = 0: the normal state (everything persisted).
+		if !emit(CrashState{Front: front, Keep: front.Clone()}) {
+			return false
+		}
+		// n = 1..K victims.
+		var choose func(start int, chosen []int) bool
+		choose = func(start int, chosen []int) bool {
+			if len(chosen) > 0 {
+				keep := front.Clone()
+				for _, v := range chosen {
+					keep.Subtract(e.PO.DependsOn(v, front))
+				}
+				cs := CrashState{Front: front, Keep: keep, Victims: append([]int(nil), chosen...)}
+				if !emit(cs) {
+					return false
+				}
+			}
+			if len(chosen) == cfg.K {
+				return true
+			}
+			for i := start; i < len(cands); i++ {
+				if !choose(i+1, append(chosen, cands[i])) {
+					return false
+				}
+			}
+			return true
+		}
+		return choose(0, nil)
+	}
+
+	switch cfg.FrontMode {
+	case FrontEnd:
+		full := causality.NewBitset(e.G.Len())
+		for _, i := range e.Universe {
+			full.Set(i)
+		}
+		perFront(full)
+	case FrontAllCuts:
+		e.G.Ideals(e.Universe, cfg.MaxFronts, func(front causality.Bitset) bool {
+			if stopped {
+				return false
+			}
+			return perFront(front)
+		})
+	}
+	return count
+}
+
+// ServerOps returns, for each proc, the universe nodes on that proc in
+// order. Used by the incremental reconstruction to diff states per server.
+func (e *Emulator) ServerOps() map[string][]int {
+	out := map[string][]int{}
+	for _, i := range e.Universe {
+		p := e.G.Ops[i].Proc
+		out[p] = append(out[p], i)
+	}
+	return out
+}

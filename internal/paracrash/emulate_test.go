@@ -1,0 +1,172 @@
+package paracrash
+
+import (
+	"testing"
+
+	"paracrash/internal/causality"
+	"paracrash/internal/trace"
+	"paracrash/internal/vfs"
+)
+
+// twoServerTrace builds a cross-server trace with no syncs: two chains of
+// two replayable ops, the first chain happening before the second (via a
+// message), all on ext4-style data journaling.
+func twoServerTrace() *causality.Graph {
+	rec := trace.NewRecorder()
+	low := func(proc, name string) *trace.Op {
+		return rec.Record(trace.Op{Layer: trace.LayerLocalFS, Proc: proc, Name: name,
+			Payload: vfs.Op{Kind: vfs.OpCreate, Path: "/" + name}})
+	}
+	low("a", "a1")
+	low("a", "a2")
+	m := rec.NewMsgID()
+	rec.Record(trace.Op{Layer: trace.LayerLocalFS, Proc: "a", Name: "send", MsgID: m, IsSend: true})
+	rec.Record(trace.Op{Layer: trace.LayerLocalFS, Proc: "b", Name: "recv", MsgID: m})
+	low("b", "b1")
+	low("b", "b2")
+	return causality.Build(rec.Ops())
+}
+
+func emulatorFor(g *causality.Graph) *Emulator {
+	return NewEmulator(g, causality.PersistConfig{
+		Journal: map[string]vfs.JournalMode{"a": vfs.JournalData, "b": vfs.JournalData},
+	})
+}
+
+func TestEmulatorUniverseExcludesComms(t *testing.T) {
+	g := twoServerTrace()
+	e := emulatorFor(g)
+	if len(e.Universe) != 4 {
+		t.Fatalf("universe = %d ops, want 4 (comm ops excluded)", len(e.Universe))
+	}
+}
+
+func TestGenerateEndFrontVictims(t *testing.T) {
+	g := twoServerTrace()
+	e := emulatorFor(g)
+	var states []CrashState
+	n := e.Generate(EmulatorConfig{K: 1, FrontMode: FrontEnd}, func(cs CrashState) bool {
+		states = append(states, cs)
+		return true
+	})
+	// One normal state + one state per victim whose closure is distinct:
+	// victims a1 (drops a1,a2,b1,b2 via persist closure... a1 pb a2 only on
+	// the same server; cross-server there is no sync so closure stays
+	// within the server), a2, b1, b2.
+	if n != len(states) || n == 0 {
+		t.Fatalf("generate count mismatch: %d vs %d", n, len(states))
+	}
+	// The normal state keeps everything.
+	if states[0].Keep.Count() != 4 {
+		t.Fatalf("normal state keeps %d ops", states[0].Keep.Count())
+	}
+	// Every state's keep is a subset of its front and closed under
+	// persists-before.
+	for _, cs := range states {
+		if !cs.Front.ContainsAll(cs.Keep) {
+			t.Fatal("keep exceeds front")
+		}
+		for _, i := range cs.Front.Members() {
+			if cs.Keep.Get(i) {
+				continue
+			}
+			// i dropped: everything i persists-before must be dropped too.
+			for _, j := range cs.Keep.Members() {
+				if e.PO.PersistsBefore(i, j) {
+					t.Fatalf("state keeps %d although dropped %d persists-before it", j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateAllCutsRespectsCausality(t *testing.T) {
+	g := twoServerTrace()
+	e := emulatorFor(g)
+	fronts := map[string]bool{}
+	e.Generate(EmulatorConfig{K: 0, FrontMode: FrontAllCuts}, func(cs CrashState) bool {
+		fronts[cs.Front.Key()] = true
+		// b ops never appear without both a ops (hb through the message).
+		hasB := false
+		for _, i := range cs.Front.Members() {
+			if g.Ops[i].Proc == "b" {
+				hasB = true
+			}
+		}
+		if hasB && cs.Front.Count() < 3 {
+			t.Fatalf("front %v has b ops without a's prefix", cs.Front.Members())
+		}
+		return true
+	})
+	// Cuts: a-prefix 0..2 × b-prefix 0..2 with b>0 requiring a=2:
+	// (0,0),(1,0),(2,0),(2,1),(2,2) = 5.
+	if len(fronts) != 5 {
+		t.Fatalf("distinct fronts = %d, want 5", len(fronts))
+	}
+}
+
+func TestGenerateDeduplicates(t *testing.T) {
+	g := twoServerTrace()
+	e := emulatorFor(g)
+	seen := map[string]bool{}
+	e.Generate(EmulatorConfig{K: 2, FrontMode: FrontAllCuts}, func(cs CrashState) bool {
+		key := cs.Front.Key() + "|" + cs.Keep.Key()
+		if seen[key] {
+			t.Fatal("duplicate (front, keep) emitted")
+		}
+		seen[key] = true
+		return true
+	})
+}
+
+func TestGenerateMaxStates(t *testing.T) {
+	g := twoServerTrace()
+	e := emulatorFor(g)
+	n := e.Generate(EmulatorConfig{K: 2, FrontMode: FrontAllCuts, MaxStates: 3}, func(CrashState) bool { return true })
+	if n != 3 {
+		t.Fatalf("MaxStates ignored: %d", n)
+	}
+}
+
+func TestVictimFilter(t *testing.T) {
+	g := twoServerTrace()
+	e := emulatorFor(g)
+	// Refuse victims on server b: no state may drop a b op while keeping
+	// its front position.
+	cfg := EmulatorConfig{K: 1, FrontMode: FrontEnd,
+		VictimFilter: func(o *trace.Op) bool { return o.Proc != "b" }}
+	e.Generate(cfg, func(cs CrashState) bool {
+		for _, v := range cs.Victims {
+			if g.Ops[v].Proc == "b" {
+				t.Fatal("filtered victim selected")
+			}
+		}
+		return true
+	})
+}
+
+func TestServerOps(t *testing.T) {
+	g := twoServerTrace()
+	e := emulatorFor(g)
+	so := e.ServerOps()
+	if len(so["a"]) != 2 || len(so["b"]) != 2 {
+		t.Fatalf("ServerOps = %v", so)
+	}
+}
+
+func TestSyncCoverageBlocksVictims(t *testing.T) {
+	// An fsync right after a write makes dropping that write infeasible.
+	rec := trace.NewRecorder()
+	rec.Record(trace.Op{Layer: trace.LayerLocalFS, Proc: "a", Name: "pwrite", FileID: "f",
+		Payload: vfs.Op{Kind: vfs.OpCreate, Path: "/x"}})
+	rec.Record(trace.Op{Layer: trace.LayerLocalFS, Proc: "a", Name: "fsync", FileID: "f", Sync: true,
+		Payload: vfs.Op{Kind: vfs.OpSync}})
+	g := causality.Build(rec.Ops())
+	e := NewEmulator(g, causality.PersistConfig{Journal: map[string]vfs.JournalMode{"a": vfs.JournalData}})
+	e.Generate(EmulatorConfig{K: 1, FrontMode: FrontEnd}, func(cs CrashState) bool {
+		if cs.Front.Get(1) && !cs.Keep.Get(0) {
+			t.Fatal("emitted a state losing a synced write")
+		}
+		return true
+	})
+}

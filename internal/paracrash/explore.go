@@ -1,0 +1,699 @@
+package paracrash
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"paracrash/internal/causality"
+	"paracrash/internal/pfs"
+	"paracrash/internal/trace"
+	"paracrash/internal/tsp"
+)
+
+// Workload is a test program: a preamble that builds the initial storage
+// state (untraced) and the traced test body (paper §5: "a preamble program
+// that initializes the storage system and a test program that runs next").
+type Workload interface {
+	Name() string
+	// Preamble initialises the storage system; it runs with tracing off.
+	Preamble(fs pfs.FileSystem) error
+	// Run executes the traced test body.
+	Run(fs pfs.FileSystem) error
+}
+
+// Library abstracts the parallel I/O library layer (HDF5, NetCDF) for
+// cross-layer checking.
+type Library interface {
+	// Name returns the library name used in attribution ("hdf5", "netcdf").
+	Name() string
+	// IsLibOp selects this library's operations among LayerIOLib trace ops.
+	IsLibOp(o *trace.Op) bool
+	// Seed captures the library's initial on-PFS state (after the
+	// preamble) so Replay can start from it.
+	Seed(t *pfs.Tree) error
+	// StateFromTree parses the library's files out of a mounted PFS tree
+	// and returns a canonical logical state. An error means the state is
+	// unreadable (corrupt).
+	StateFromTree(t *pfs.Tree) (string, error)
+	// RecoverTree applies the library's recovery tools (e.g. h5clear) to
+	// the tree, returning the repaired tree and whether anything changed.
+	RecoverTree(t *pfs.Tree) (*pfs.Tree, bool)
+	// Replay re-executes the given library ops on a fresh copy of the
+	// seeded state and returns the canonical logical state.
+	Replay(ops []*trace.Op) (string, error)
+}
+
+// Mode selects the crash-state exploration strategy (paper §5 and §6.4).
+type Mode int
+
+const (
+	// ModeBrute reconstructs and checks every generated crash state.
+	ModeBrute Mode = iota
+	// ModePruning skips crash states matching already-identified bug
+	// scenarios and applies semantic (object-map) victim pruning.
+	ModePruning
+	// ModeOptimized adds incremental crash-state reconstruction with
+	// TSP-ordered visiting on top of pruning.
+	ModeOptimized
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeBrute:
+		return "brute-force"
+	case ModePruning:
+		return "pruning"
+	case ModeOptimized:
+		return "optimized"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// MarshalJSON renders the mode by name.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + m.String() + `"`), nil
+}
+
+// Options configures a testing run.
+type Options struct {
+	Mode Mode
+	// PFSModel is the consistency model the PFS is tested against (the
+	// paper uses causal for every PFS).
+	PFSModel Model
+	// LibModel is the model the I/O library is tested against (the paper
+	// uses baseline and causal).
+	LibModel Model
+	// Emulator bounds (victims, fronts, caps).
+	Emulator EmulatorConfig
+	// MaxLayerOps guards the preserved-set enumeration (commit/baseline
+	// enumerate subsets of the unconstrained ops).
+	MaxLayerOps int
+	// MaxLegalStates caps legal-state enumeration per crash front.
+	MaxLegalStates int
+
+	// Ablation switches (the design choices measured by the Ablation
+	// benchmarks; both default to the paper's behaviour).
+	//
+	// DisableSemanticPruning turns off the object-map victim filter in the
+	// pruning/optimized modes (paper §5.3's "semantic information" rule).
+	DisableSemanticPruning bool
+	// DisableTSP makes the optimized mode visit crash states in recording
+	// order instead of the greedy travelling-salesman tour.
+	DisableTSP bool
+}
+
+// DefaultOptions mirrors the paper's evaluation settings: k=1 victims, all
+// consistent cuts, causal PFS model, baseline library model.
+func DefaultOptions() Options {
+	return Options{
+		Mode:     ModePruning,
+		PFSModel: ModelCausal,
+		LibModel: ModelBaseline,
+		Emulator: EmulatorConfig{
+			K:         1,
+			FrontMode: FrontAllCuts,
+			MaxFronts: 20000,
+			MaxStates: 200000,
+		},
+		MaxLayerOps:    20,
+		MaxLegalStates: 50000,
+	}
+}
+
+// Stats records exploration effort, the quantities behind Figures 10/11.
+type Stats struct {
+	TraceOps        int
+	LowermostOps    int
+	StatesGenerated int
+	StatesChecked   int
+	StatesPruned    int
+	ServerRestores  int
+	OpsReplayed     int
+	LegalPFSStates  int
+	LegalLibStates  int
+	Duration        time.Duration
+}
+
+// InconsistentState describes one failed crash state, pre-deduplication.
+type InconsistentState struct {
+	Layer       string // "pfs" or the library name
+	Victims     []string
+	Consequence string
+}
+
+// Report is the outcome of testing one workload against one file system.
+type Report struct {
+	Program string
+	FS      string
+	Mode    Mode
+	Bugs    []*Bug
+	// Inconsistent counts distinct inconsistent crash states (Figure 8
+	// bars); LibOnly counts those where the PFS state was correct but the
+	// library state was not (Figure 8 line plots).
+	Inconsistent int
+	LibOnly      int
+	States       []InconsistentState
+	Stats        Stats
+}
+
+// Format renders the report as the CLI's crash-consistency report.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== ParaCrash report: %s on %s (%s) ===\n", r.Program, r.FS, r.Mode)
+	fmt.Fprintf(&b, "trace: %d ops (%d lowermost) | crash states: %d generated, %d checked, %d pruned\n",
+		r.Stats.TraceOps, r.Stats.LowermostOps, r.Stats.StatesGenerated, r.Stats.StatesChecked, r.Stats.StatesPruned)
+	fmt.Fprintf(&b, "legal states: %d pfs, %d lib | restores: %d servers, %d ops replayed | %.3fs\n",
+		r.Stats.LegalPFSStates, r.Stats.LegalLibStates, r.Stats.ServerRestores, r.Stats.OpsReplayed, r.Stats.Duration.Seconds())
+	fmt.Fprintf(&b, "inconsistent crash states: %d (library-only: %d)\n", r.Inconsistent, r.LibOnly)
+	if len(r.Bugs) == 0 {
+		b.WriteString("no crash-consistency bugs found\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "unique bugs: %d\n", len(r.Bugs))
+	for i, bug := range r.Bugs {
+		fmt.Fprintf(&b, "  [%d] %s bug in %s layer:\n", i+1, bug.Kind, bug.Layer)
+		if bug.Kind == BugReordering {
+			fmt.Fprintf(&b, "      %s  ->  %s\n", bug.OpA, bug.OpB)
+		} else {
+			fmt.Fprintf(&b, "      [%s , %s]\n", bug.OpA, bug.OpB)
+		}
+		fmt.Fprintf(&b, "      consequence: %s (%d states)\n", bug.Consequence, bug.States)
+	}
+	return b.String()
+}
+
+// checkResult is the verdict for one crash state.
+type checkResult struct {
+	consistent  bool
+	layer       string
+	consequence string
+	// state is the canonical content of the recovered state at the failing
+	// layer (empty when consistent); the bug dedup keys on it.
+	state string
+}
+
+// session holds everything needed to reconstruct and check crash states.
+type session struct {
+	fs   pfs.FileSystem
+	lib  Library
+	opts Options
+
+	g       *causality.Graph
+	emu     *Emulator
+	pfsOps  *LayerOps
+	libOps  *LayerOps
+	initial *pfs.State
+
+	clients map[string]pfs.Client
+
+	// Caches: replays and legal-state sets are deterministic per subset.
+	pfsReplayCache map[string]string
+	legalPFSCache  map[string]map[string]bool
+	libReplayCache map[string]string
+	legalLibCache  map[string]map[string]bool
+	checkCache     map[string]checkResult
+
+	goldenPFS string // strict golden tree (all ops), for consequences
+	goldenLib string
+
+	stats Stats
+}
+
+// Run executes the full ParaCrash pipeline for a workload against a file
+// system (optionally topped by an I/O library) and returns the report.
+func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, error) {
+	start := time.Now()
+	rec := fs.Recorder()
+
+	// Phase 0: preamble (untraced) and the initial snapshot.
+	rec.SetEnabled(false)
+	if err := w.Preamble(fs); err != nil {
+		return nil, fmt.Errorf("paracrash: preamble: %w", err)
+	}
+	initial := fs.Snapshot()
+
+	if lib != nil {
+		t, err := fs.Mount()
+		if err != nil {
+			return nil, fmt.Errorf("paracrash: mounting initial state: %w", err)
+		}
+		if err := lib.Seed(t); err != nil {
+			return nil, fmt.Errorf("paracrash: seeding library: %w", err)
+		}
+	}
+
+	// Phase 1: traced test execution.
+	rec.Reset()
+	rec.SetEnabled(true)
+	if err := w.Run(fs); err != nil {
+		return nil, fmt.Errorf("paracrash: test program: %w", err)
+	}
+	rec.SetEnabled(false)
+	ops := rec.Ops()
+
+	// Phase 2: causality analysis.
+	g := causality.Build(ops)
+	emu := NewEmulator(g, fs.PersistConfig())
+
+	s := &session{
+		fs: fs, lib: lib, opts: opts,
+		g: g, emu: emu, initial: initial,
+		pfsOps:         NewLayerOps(g, trace.LayerPFS, nil),
+		clients:        map[string]pfs.Client{},
+		pfsReplayCache: map[string]string{},
+		legalPFSCache:  map[string]map[string]bool{},
+		libReplayCache: map[string]string{},
+		legalLibCache:  map[string]map[string]bool{},
+		checkCache:     map[string]checkResult{},
+	}
+	if lib != nil {
+		s.libOps = NewLayerOps(g, trace.LayerIOLib, lib.IsLibOp)
+	}
+	s.stats.TraceOps = len(ops)
+	s.stats.LowermostOps = len(emu.Universe)
+
+	if n := s.pfsOps.Len(); n > opts.MaxLayerOps {
+		return nil, fmt.Errorf("paracrash: %d PFS-layer ops exceed MaxLayerOps=%d (preserved-set enumeration is exponential)", n, opts.MaxLayerOps)
+	}
+	if s.libOps != nil && s.libOps.Len() > opts.MaxLayerOps {
+		return nil, fmt.Errorf("paracrash: %d library-layer ops exceed MaxLayerOps=%d", s.libOps.Len(), opts.MaxLayerOps)
+	}
+
+	// Golden (strict) states for consequence reporting.
+	allPFS := make([]int, s.pfsOps.Len())
+	for i := range allPFS {
+		allPFS[i] = i
+	}
+	s.goldenPFS = s.replayPFS(allPFS)
+	if s.libOps != nil {
+		allLib := make([]int, s.libOps.Len())
+		for i := range allLib {
+			allLib[i] = i
+		}
+		s.goldenLib, _ = s.replayLib(allLib)
+	}
+
+	// Phase 3: crash emulation + checking.
+	emuCfg := opts.Emulator
+	if opts.Mode != ModeBrute && !opts.DisableSemanticPruning {
+		emuCfg.VictimFilter = func(o *trace.Op) bool {
+			// Semantic pruning: data-chunk updates of library datasets are
+			// not reordered (paper §5.3).
+			return !strings.HasPrefix(o.Tag, "h5:data")
+		}
+	}
+
+	report := &Report{Program: w.Name(), FS: fs.Name(), Mode: opts.Mode}
+	bugs := NewBugSet()
+	classifier := NewClassifier(emu, func(cs CrashState) (bool, string) {
+		res := s.check(cs)
+		return res.consistent, res.state
+	})
+
+	seenStates := map[string]bool{} // dedup inconsistent states by recovered content
+
+	skip := func(cs CrashState) bool {
+		if opts.Mode != ModeBrute && bugs.KnownBad(cs) {
+			s.stats.StatesPruned++
+			return true
+		}
+		return false
+	}
+
+	handle := func(cs CrashState) {
+		res := s.check(cs)
+		s.stats.StatesChecked++
+		if res.consistent {
+			return
+		}
+		// Distinct persistence subsets recovering to the same content are
+		// one inconsistent state (the paper's redundancy removal, §5.2).
+		stateKey := res.layer + "|" + res.state
+		if !seenStates[stateKey] {
+			seenStates[stateKey] = true
+			report.Inconsistent++
+			if res.layer != "pfs" {
+				report.LibOnly++
+			}
+			var victims []string
+			for _, v := range cs.Victims {
+				victims = append(victims, g.Ops[v].Key())
+			}
+			report.States = append(report.States, InconsistentState{
+				Layer: res.layer, Victims: victims, Consequence: res.consequence,
+			})
+		}
+		lo := s.pfsOps
+		if res.layer != "pfs" && s.libOps != nil {
+			lo = s.libOps
+		}
+		for _, pr := range classifier.ClassifyState(cs, lo, res.state) {
+			bugs.Add(pr, res.layer, fs.Name(), w.Name(), res.consequence)
+		}
+	}
+
+	if opts.Mode == ModeOptimized {
+		// Collect states first, order with greedy TSP over per-server
+		// distance, then reconstruct incrementally.
+		var states []CrashState
+		s.stats.StatesGenerated = emu.Generate(emuCfg, func(cs CrashState) bool {
+			states = append(states, cs)
+			return true
+		})
+		s.runOptimized(states, skip, handle)
+	} else {
+		s.stats.StatesGenerated = emu.Generate(emuCfg, func(cs CrashState) bool {
+			if !skip(cs) {
+				handle(cs)
+			}
+			return true
+		})
+	}
+
+	// Restore the live cluster to the untouched post-run state.
+	fs.Restore(initial)
+
+	report.Bugs = bugs.Bugs()
+	s.stats.Duration = time.Since(start)
+	report.Stats = s.stats
+	return report, nil
+}
+
+// client returns (and caches) the client endpoint for a client proc name.
+func (s *session) client(proc string) pfs.Client {
+	if c, ok := s.clients[proc]; ok {
+		return c
+	}
+	id := 0
+	if i := strings.IndexByte(proc, '/'); i >= 0 {
+		fmt.Sscanf(proc[i+1:], "%d", &id)
+	}
+	c := s.fs.Client(id)
+	s.clients[proc] = c
+	return c
+}
+
+// reconstruct restores the initial snapshot and applies the kept lowermost
+// ops in recording order.
+func (s *session) reconstruct(cs CrashState) {
+	s.fs.Restore(s.initial)
+	s.stats.ServerRestores += len(s.fs.Procs())
+	for _, i := range s.emu.Universe {
+		if !cs.Keep.Get(i) {
+			continue
+		}
+		// Application errors mean the op's effect is lost (its target was
+		// never persisted) — exactly the crash semantics we emulate.
+		_ = s.fs.ApplyLowermost(s.g.Ops[i])
+		s.stats.OpsReplayed++
+	}
+}
+
+// check reconstructs the crash state, runs recovery and performs the
+// top-down layer checks. Results are cached per (front, keep). States that
+// violate commit durability cannot occur and count as consistent (the
+// classifier probes such combinations).
+func (s *session) check(cs CrashState) checkResult {
+	if !s.emu.PO.SyncFeasible(cs.Front, cs.Keep) {
+		return checkResult{consistent: true}
+	}
+	key := cs.Front.Key() + "|" + cs.Keep.Key()
+	if r, ok := s.checkCache[key]; ok {
+		return r
+	}
+	s.reconstruct(cs)
+	r := s.verdict(cs)
+	s.checkCache[key] = r
+	return r
+}
+
+// verdict checks the current (already reconstructed) cluster state against
+// the legal states for the crash front. It runs recovery first, like the
+// real workflow (fsck before the consistency test).
+func (s *session) verdict(cs CrashState) checkResult {
+	if err := s.fs.Recover(); err != nil {
+		return checkResult{layer: "pfs", consequence: fmt.Sprintf("unrecoverable file system: %v", err), state: "UNRECOVERABLE"}
+	}
+	tree, err := s.fs.Mount()
+	if err != nil {
+		return checkResult{layer: "pfs", consequence: fmt.Sprintf("mount failed after fsck: %v", err), state: "UNMOUNTABLE"}
+	}
+
+	pfsStatus := s.pfsOps.StatusAgainst(cs.Front)
+	treeStr := tree.Serialize()
+
+	if s.lib == nil {
+		if s.legalPFS(cs, pfsStatus)[treeStr] {
+			return checkResult{consistent: true}
+		}
+		return checkResult{layer: "pfs", consequence: s.describePFS(treeStr), state: treeStr}
+	}
+
+	// Top-down: library first.
+	libStatus := s.libOps.StatusAgainst(cs.Front)
+	legalLib := s.legalLib(cs, libStatus)
+
+	libState, lerr := s.lib.StateFromTree(tree)
+	if lerr == nil && legalLib[libState] {
+		return checkResult{consistent: true}
+	}
+	// Run the library's recovery tools before declaring inconsistency.
+	if fixed, changed := s.lib.RecoverTree(tree); changed {
+		if st, err2 := s.lib.StateFromTree(fixed); err2 == nil && legalLib[st] {
+			return checkResult{consistent: true}
+		}
+	}
+
+	// The library state is inconsistent: attribute by checking the PFS.
+	consequence := ""
+	libKey := libState
+	if lerr != nil {
+		consequence = fmt.Sprintf("library state unreadable: %v", lerr)
+		libKey = "CORRUPT: " + lerr.Error()
+	} else {
+		consequence = s.describeLib(libState)
+	}
+	if s.legalPFS(cs, pfsStatus)[treeStr] {
+		return checkResult{layer: s.lib.Name(), consequence: consequence, state: libKey}
+	}
+	return checkResult{layer: "pfs", consequence: consequence + " (PFS state also illegal)", state: treeStr}
+}
+
+// describePFS summarises how the recovered tree differs from the golden
+// (full-execution) tree.
+func (s *session) describePFS(treeStr string) string {
+	if treeStr == s.goldenPFS {
+		return "state equals the no-crash state but violates the model"
+	}
+	return "recovered PFS state matches no legal state (" + firstLineDiff(treeStr, s.goldenPFS) + ")"
+}
+
+func (s *session) describeLib(state string) string {
+	return "library state matches no legal state (" + firstLineDiff(state, s.goldenLib) + ")"
+}
+
+// firstLineDiff reports the first differing line between two canonical
+// serialisations, a compact consequence hint.
+func firstLineDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var x, y string
+		if i < len(al) {
+			x = al[i]
+		}
+		if i < len(bl) {
+			y = bl[i]
+		}
+		if x != y {
+			return fmt.Sprintf("got %q want %q", x, y)
+		}
+	}
+	return "no textual diff"
+}
+
+// legalPFS returns the set of legal PFS tree serialisations for the front.
+func (s *session) legalPFS(cs CrashState, status []Status) map[string]bool {
+	key := statusKey(status)
+	if set, ok := s.legalPFSCache[key]; ok {
+		return set
+	}
+	set := map[string]bool{}
+	s.pfsOps.PreservedSets(s.opts.PFSModel, status, s.opts.MaxLegalStates, func(sel []int) bool {
+		set[s.replayPFS(sel)] = true
+		return true
+	})
+	s.legalPFSCache[key] = set
+	s.stats.LegalPFSStates = max(s.stats.LegalPFSStates, len(set))
+	return set
+}
+
+// legalLib returns the set of legal library logical states for the front.
+func (s *session) legalLib(cs CrashState, status []Status) map[string]bool {
+	key := statusKey(status)
+	if set, ok := s.legalLibCache[key]; ok {
+		return set
+	}
+	set := map[string]bool{}
+	s.libOps.PreservedSets(s.opts.LibModel, status, s.opts.MaxLegalStates, func(sel []int) bool {
+		if st, err := s.replayLib(sel); err == nil {
+			set[st] = true
+		}
+		return true
+	})
+	s.legalLibCache[key] = set
+	s.stats.LegalLibStates = max(s.stats.LegalLibStates, len(set))
+	return set
+}
+
+func statusKey(status []Status) string {
+	b := make([]byte, len(status))
+	for i, st := range status {
+		b[i] = byte('0' + int(st))
+	}
+	return string(b)
+}
+
+// replayPFS re-executes the selected PFS-layer client ops on the initial
+// snapshot and returns the resulting tree serialisation.
+func (s *session) replayPFS(sel []int) string {
+	key := intsKey(sel)
+	if st, ok := s.pfsReplayCache[key]; ok {
+		return st
+	}
+	rec := s.fs.Recorder()
+	rec.SetEnabled(false)
+	s.fs.Restore(s.initial)
+	for _, pos := range sel {
+		op := s.pfsOps.Ops[pos]
+		// Failed replays (missing prerequisites under weak models) lose
+		// the op, matching crash semantics.
+		_ = pfs.ReplayClientOp(s.client(op.Proc), op)
+	}
+	st := "UNMOUNTABLE"
+	if tree, err := s.fs.Mount(); err == nil {
+		st = tree.Serialize()
+	}
+	s.pfsReplayCache[key] = st
+	return st
+}
+
+// replayLib re-executes the selected library ops via the library's replayer.
+func (s *session) replayLib(sel []int) (string, error) {
+	key := intsKey(sel)
+	if st, ok := s.libReplayCache[key]; ok {
+		return st, nil
+	}
+	ops := make([]*trace.Op, len(sel))
+	for i, pos := range sel {
+		ops[i] = s.libOps.Ops[pos]
+	}
+	st, err := s.lib.Replay(ops)
+	if err != nil {
+		return "", err
+	}
+	s.libReplayCache[key] = st
+	return st, nil
+}
+
+func intsKey(sel []int) string {
+	var b strings.Builder
+	for _, v := range sel {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// runOptimized visits states in TSP order with incremental reconstruction:
+// only servers whose kept-op subsequence changed are restored and
+// re-applied; recovery and checking run on a scratch snapshot.
+func (s *session) runOptimized(states []CrashState, skip func(CrashState) bool, handle func(CrashState)) {
+	if len(states) == 0 {
+		return
+	}
+	serverOps := s.emu.ServerOps()
+	procs := make([]string, 0, len(serverOps))
+	for p := range serverOps {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+
+	// Per-state, per-server signatures of the kept subsequence.
+	sigs := make([][]string, len(states))
+	for i, cs := range states {
+		sigs[i] = make([]string, len(procs))
+		for pi, p := range procs {
+			var b strings.Builder
+			for _, n := range serverOps[p] {
+				if cs.Keep.Get(n) {
+					fmt.Fprintf(&b, "%d,", n)
+				}
+			}
+			sigs[i][pi] = b.String()
+		}
+	}
+	dist := func(i, j int) int {
+		d := 0
+		for pi := range procs {
+			if sigs[i][pi] != sigs[j][pi] {
+				d++
+			}
+		}
+		return d
+	}
+	var order []int
+	if s.opts.DisableTSP {
+		order = make([]int, len(states))
+		for i := range order {
+			order[i] = i
+		}
+	} else {
+		order = tsp.GreedyOrder(len(states), dist)
+	}
+
+	cur := make([]string, len(procs))
+	for i := range cur {
+		cur[i] = "\x00unset"
+	}
+
+	for _, idx := range order {
+		cs := states[idx]
+		if skip(cs) {
+			continue
+		}
+		// Incremental apply: restore + replay only the changed servers.
+		for pi, p := range procs {
+			if cur[pi] == sigs[idx][pi] {
+				continue
+			}
+			s.fs.RestoreServer(s.initial, p)
+			s.stats.ServerRestores++
+			for _, n := range serverOps[p] {
+				if cs.Keep.Get(n) {
+					_ = s.fs.ApplyLowermost(s.g.Ops[n])
+					s.stats.OpsReplayed++
+				}
+			}
+			cur[pi] = sigs[idx][pi]
+		}
+		// Check on a scratch copy so recovery does not disturb the
+		// incrementally maintained applied state.
+		applied := s.fs.Snapshot()
+		key := cs.Front.Key() + "|" + cs.Keep.Key()
+		if _, ok := s.checkCache[key]; !ok {
+			s.checkCache[key] = s.verdict(cs)
+		}
+		handle(cs)
+		s.fs.Restore(applied)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,185 @@
+package paracrash
+
+import (
+	"fmt"
+	"testing"
+
+	"paracrash/internal/causality"
+	"paracrash/internal/trace"
+	"paracrash/internal/vfs"
+)
+
+// buildLayerFixture constructs a trace with client-layer ops and lowermost
+// descendants:
+//
+//	client/0: creat f (srv op 1) ; pwrite f (srv op 2) ; fsync f (srv sync) ;
+//	          pwrite g (srv op 3) ; close f
+func buildLayerFixture() (*causality.Graph, *LayerOps) {
+	rec := trace.NewRecorder()
+	client := func(name, file string, sync bool) *trace.Op {
+		op := rec.Push(trace.Op{Layer: trace.LayerPFS, Proc: "client/0", Name: name, Path: file, FileID: file, Sync: sync})
+		// Server-side work carries the explicit caller edge, as the RPC
+		// plumbing does (call stacks are per-process).
+		rec.Record(trace.Op{Layer: trace.LayerLocalFS, Proc: "srv/0", Name: name + "_low", FileID: file,
+			Sync: sync, Parent: op.ID, Payload: vfs.Op{Kind: vfs.OpCreate, Path: file}})
+		rec.Pop("client/0")
+		return op
+	}
+	client("creat", "/f", false)
+	client("pwrite", "/f", false)
+	client("fsync", "/f", true)
+	client("pwrite", "/g", false)
+	// close has no storage footprint.
+	rec.Record(trace.Op{Layer: trace.LayerPFS, Proc: "client/0", Name: "close", Path: "/f", FileID: "/f"})
+	g := causality.Build(rec.Ops())
+	return g, NewLayerOps(g, trace.LayerPFS, nil)
+}
+
+func fullFront(g *causality.Graph) causality.Bitset {
+	front := causality.NewBitset(g.Len())
+	for i, o := range g.Ops {
+		if o.IsLowermost() && o.Payload != nil {
+			front.Set(i)
+		}
+	}
+	return front
+}
+
+func TestLayerOpsDescendants(t *testing.T) {
+	g, lo := buildLayerFixture()
+	if lo.Len() != 5 {
+		t.Fatalf("layer ops = %d, want 5", lo.Len())
+	}
+	status := lo.StatusAgainst(fullFront(g))
+	for i, st := range status {
+		if st != StatusCompleted {
+			t.Errorf("op %d status = %v, want completed", i, st)
+		}
+	}
+	// A front missing the last lowermost op leaves its owner in-flight...
+	front := fullFront(g)
+	members := front.Members()
+	front.Clear(members[len(members)-1])
+	status = lo.StatusAgainst(front)
+	if status[3] != StatusUnexecuted {
+		t.Errorf("pwrite g should be unexecuted, got %v", status[3])
+	}
+	// ...while close (no footprint) stays completed.
+	if status[4] != StatusCompleted {
+		t.Errorf("close should be completed, got %v", status[4])
+	}
+}
+
+func TestCommittedSet(t *testing.T) {
+	g, lo := buildLayerFixture()
+	status := lo.StatusAgainst(fullFront(g))
+	committed := lo.CommittedSet(status)
+	// creat f and pwrite f precede fsync f on the same file; pwrite g does
+	// not.
+	if !committed[0] || !committed[1] {
+		t.Errorf("ops on /f before fsync must be committed: %v", committed)
+	}
+	if committed[3] {
+		t.Error("pwrite g must not be committed")
+	}
+}
+
+func TestClosedSet(t *testing.T) {
+	g, lo := buildLayerFixture()
+	status := lo.StatusAgainst(fullFront(g))
+	closed := lo.ClosedSet(status)
+	// /f ends with a close: all its ops are required. /g stays open.
+	for _, i := range []int{0, 1, 4} {
+		if !closed[i] {
+			t.Errorf("op %d on closed /f must be required: %v", i, closed)
+		}
+	}
+	if closed[3] {
+		t.Error("op on open /g must not be required")
+	}
+}
+
+func TestPreservedSetCounts(t *testing.T) {
+	g, lo := buildLayerFixture()
+	status := lo.StatusAgainst(fullFront(g))
+	count := func(m Model) int {
+		n := 0
+		lo.PreservedSets(m, status, 0, func([]int) bool { n++; return true })
+		return n
+	}
+	// Strict: everything completed is required — exactly one set.
+	if n := count(ModelStrict); n != 1 {
+		t.Errorf("strict sets = %d, want 1", n)
+	}
+	// Commit: ops 0,1 required; 2 (the fsync), 3, 4 free -> 2^3 = 8.
+	if n := count(ModelCommit); n != 8 {
+		t.Errorf("commit sets = %d, want 8", n)
+	}
+	// Causal: committed (0,1) required; the free ops chain under program
+	// order (fsync <= pwrite g <= close), so the downward-closed choices
+	// are the four prefixes of that chain.
+	if n := count(ModelCausal); n != 4 {
+		t.Errorf("causal sets = %d, want 4", n)
+	}
+	// Baseline: every op on the closed /f is required (including its
+	// fsync); only pwrite g is free -> 2.
+	if n := count(ModelBaseline); n != 2 {
+		t.Errorf("baseline sets = %d, want 2", n)
+	}
+}
+
+func TestPreservedSetsRespectLimit(t *testing.T) {
+	g, lo := buildLayerFixture()
+	status := lo.StatusAgainst(fullFront(g))
+	n := 0
+	lo.PreservedSets(ModelCommit, status, 3, func([]int) bool { n++; return true })
+	if n != 3 {
+		t.Fatalf("limit ignored: %d sets", n)
+	}
+}
+
+func TestCausalClosureEnforced(t *testing.T) {
+	g, lo := buildLayerFixture()
+	status := lo.StatusAgainst(fullFront(g))
+	lo.PreservedSets(ModelCausal, status, 0, func(sel []int) bool {
+		in := map[int]bool{}
+		for _, s := range sel {
+			in[s] = true
+		}
+		for _, j := range sel {
+			for i := 0; i < lo.Len(); i++ {
+				if lo.HB(i, j) && !in[i] {
+					t.Errorf("causal set %v not downward closed (missing %d before %d)", sel, i, j)
+				}
+			}
+		}
+		return true
+	})
+	_ = g
+}
+
+func TestParseModel(t *testing.T) {
+	for _, name := range []string{"strict", "commit", "causal", "baseline"} {
+		m, err := ParseModel(name)
+		if err != nil || m.String() != name {
+			t.Errorf("ParseModel(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := ParseModel("nope"); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestModeAndKindStrings(t *testing.T) {
+	if ModeBrute.String() != "brute-force" || ModePruning.String() != "pruning" || ModeOptimized.String() != "optimized" {
+		t.Error("mode strings wrong")
+	}
+	if BugReordering.String() != "reordering" || BugAtomicity.String() != "atomicity" || BugUnknown.String() != "unknown" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func ExampleModel_String() {
+	fmt.Println(ModelCausal)
+	// Output: causal
+}

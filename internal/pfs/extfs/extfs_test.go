@@ -1,0 +1,43 @@
+package extfs
+
+import (
+	"testing"
+
+	"paracrash/internal/pfs"
+	"paracrash/internal/trace"
+	"paracrash/internal/vfs"
+)
+
+func TestExtfsOneToOneOps(t *testing.T) {
+	conf := pfs.DefaultConfig()
+	conf.MetaServers = 0
+	conf.StorageServers = 1
+	f := New(conf, trace.NewRecorder())
+	c := f.Client(0)
+	if err := c.Create("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteAt("/a", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one replayable local op per client call.
+	replayable := 0
+	for _, o := range f.Recorder().Ops() {
+		if o.Payload != nil {
+			replayable++
+		}
+	}
+	if replayable != 2 {
+		t.Fatalf("replayable ops = %d, want 2", replayable)
+	}
+	tree, err := f.Mount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := tree.Entries["/a"]; !ok || string(e.Data) != "x" {
+		t.Fatalf("mount wrong: %s", tree.Serialize())
+	}
+	if f.PersistConfig().ModeOf("local/0") != vfs.JournalData {
+		t.Fatal("default journaling should be data mode")
+	}
+}

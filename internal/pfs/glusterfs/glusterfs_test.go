@@ -1,0 +1,144 @@
+package glusterfs
+
+import (
+	"bytes"
+	"testing"
+
+	"paracrash/internal/pfs"
+	"paracrash/internal/trace"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	conf := pfs.DefaultConfig()
+	conf.MetaServers = 0
+	conf.StorageServers = 2
+	return New(conf, trace.NewRecorder())
+}
+
+func TestSmallFileStaysOnFirstBrick(t *testing.T) {
+	// Striped volume: a small file's metadata and data live on brick 0,
+	// the property behind GlusterFS's ARVR safety (paper §6.3.1).
+	f := newFS(t)
+	c := f.Client(0)
+	if err := c.Create("/small"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteAt("/small", 0, []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if !f.brick(0).FS.Exists("/vol/small") {
+		t.Fatal("file missing on brick 0")
+	}
+	if f.brick(1).FS.Exists("/vol/small") {
+		t.Fatal("small file leaked onto brick 1")
+	}
+}
+
+func TestLargeFileStripesAcrossBricks(t *testing.T) {
+	f := newFS(t)
+	c := f.Client(0)
+	if err := c.Create("/large"); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("z"), 300)
+	if err := c.WriteAt("/large", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if !f.brick(1).FS.Exists("/vol/large") {
+		t.Fatal("stripe missing on brick 1")
+	}
+	got, err := c.Read("/large")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("striped read mismatch: %d bytes, %v", len(got), err)
+	}
+	// Only the base copy carries the gfid.
+	if _, ok := f.brick(1).FS.GetXattr("/vol/large", "gfid"); ok {
+		t.Fatal("stripe copy must not carry the gfid")
+	}
+}
+
+func TestDirectoriesMirroredToAllBricks(t *testing.T) {
+	f := newFS(t)
+	c := f.Client(0)
+	if err := c.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if !f.brick(i).FS.IsDir("/vol/d") {
+			t.Fatalf("directory missing on brick %d", i)
+		}
+	}
+}
+
+func TestHealMirrorsDirsAndRemovesOrphans(t *testing.T) {
+	f := newFS(t)
+	c := f.Client(0)
+	if err := c.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash-like damage: the dir vanished from brick 1; an orphan stripe
+	// (no base copy anywhere) appeared on brick 1.
+	if err := f.brick(1).FS.Rmdir("/vol/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.brick(1).FS.Create("/vol/orphan"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.brick(1).FS.IsDir("/vol/d") {
+		t.Fatal("heal did not mirror the directory")
+	}
+	if f.brick(1).FS.Exists("/vol/orphan") {
+		t.Fatal("heal kept the orphan stripe")
+	}
+}
+
+func TestMountNamespaceIsBrick0Authoritative(t *testing.T) {
+	f := newFS(t)
+	c := f.Client(0)
+	if err := c.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	// A directory existing only on brick 1 (half-renamed state) is not
+	// part of the namespace.
+	if err := f.brick(1).FS.Mkdir("/vol/ghost"); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := f.Mount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tree.Entries["/ghost"]; ok {
+		t.Fatal("non-authoritative directory leaked into the namespace")
+	}
+	if _, ok := tree.Entries["/d"]; !ok {
+		t.Fatal("authoritative directory missing")
+	}
+}
+
+func TestRenameMovesAllStripes(t *testing.T) {
+	f := newFS(t)
+	c := f.Client(0)
+	if err := c.Create("/big"); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("y"), 300)
+	if err := c.WriteAt("/big", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("/big", "/moved"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read("/moved")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after rename: %d bytes, %v", len(got), err)
+	}
+	for i := 0; i < 2; i++ {
+		if f.brick(i).FS.Exists("/vol/big") {
+			t.Fatalf("stale source stripe on brick %d", i)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package gpfs simulates IBM GPFS / Spectrum Scale on the shared-disk
+// substrate: a kernel-level PFS operating directly on block devices, with
+// write-ahead metadata logging but lazy cache flushing (no SCSI barriers
+// between transaction writes). See package shareddisk for the mechanics
+// and the paper's Figure 9d for the traced ARVR transaction.
+package gpfs
+
+import (
+	"paracrash/internal/pfs"
+	"paracrash/internal/pfs/shareddisk"
+	"paracrash/internal/trace"
+)
+
+// New creates a GPFS deployment.
+func New(conf pfs.Config, rec *trace.Recorder) *shareddisk.FS {
+	return shareddisk.New(conf, shareddisk.Policy{FSName: "gpfs", Barriers: false}, rec)
+}

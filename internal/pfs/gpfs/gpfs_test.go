@@ -1,0 +1,33 @@
+package gpfs
+
+import (
+	"testing"
+
+	"paracrash/internal/pfs"
+	"paracrash/internal/trace"
+)
+
+func TestNewGPFS(t *testing.T) {
+	conf := pfs.DefaultConfig()
+	conf.MetaServers = 0
+	conf.StorageServers = 2
+	f := New(conf, trace.NewRecorder())
+	if f.Name() != "gpfs" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	// GPFS issues no barriers: a create emits only writes.
+	if err := f.Client(0).Create("/x"); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range f.Recorder().Ops() {
+		if o.Name == "scsi_sync" {
+			t.Fatal("GPFS must not emit barriers")
+		}
+	}
+	pc := f.PersistConfig()
+	for _, p := range f.Procs() {
+		if !pc.IsBlock(p) {
+			t.Fatalf("proc %s should be a block device", p)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package lustre simulates Lustre on the shared-disk substrate: a
+// kernel-level PFS whose ldiskfs targets journal metadata and end every
+// per-server write group with an accurate disk barrier, so persistence
+// follows causality and no POSIX-level crash-consistency bug is reachable
+// (the paper's finding in §6.3.1). HDF5-level bugs remain visible through
+// Lustre, as in the paper's Table 3 rows 10, 13 and 15.
+package lustre
+
+import (
+	"paracrash/internal/pfs"
+	"paracrash/internal/pfs/shareddisk"
+	"paracrash/internal/trace"
+)
+
+// New creates a Lustre deployment.
+func New(conf pfs.Config, rec *trace.Recorder) *shareddisk.FS {
+	return shareddisk.New(conf, shareddisk.Policy{FSName: "lustre", Barriers: true, ReplayLog: true}, rec)
+}

@@ -1,0 +1,28 @@
+package lustre
+
+import (
+	"testing"
+
+	"paracrash/internal/pfs"
+	"paracrash/internal/trace"
+)
+
+func TestNewLustre(t *testing.T) {
+	f := New(pfs.DefaultConfig(), trace.NewRecorder())
+	if f.Name() != "lustre" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	// Lustre barriers every write group.
+	if err := f.Client(0).Create("/x"); err != nil {
+		t.Fatal(err)
+	}
+	syncs := 0
+	for _, o := range f.Recorder().Ops() {
+		if o.Name == "scsi_sync" {
+			syncs++
+		}
+	}
+	if syncs == 0 {
+		t.Fatal("Lustre must emit barriers")
+	}
+}

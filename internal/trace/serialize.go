@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"paracrash/internal/blockdev"
+	"paracrash/internal/vfs"
+)
+
+// wireOp is the JSON form of an Op. The replayable payload is carried as a
+// tagged union so traces round-trip through files, like the per-process
+// trace files the paper's tracing stage emits.
+type wireOp struct {
+	ID       int    `json:"id"`
+	Layer    Layer  `json:"layer"`
+	Proc     string `json:"proc"`
+	Name     string `json:"name"`
+	Path     string `json:"path,omitempty"`
+	Path2    string `json:"path2,omitempty"`
+	Offset   int64  `json:"offset,omitempty"`
+	Size     int64  `json:"size,omitempty"`
+	Data     []byte `json:"data,omitempty"`
+	Meta     bool   `json:"meta,omitempty"`
+	Sync     bool   `json:"sync,omitempty"`
+	DataSync bool   `json:"datasync,omitempty"`
+	FileID   string `json:"file,omitempty"`
+	Tag      string `json:"tag,omitempty"`
+	Parent   int    `json:"parent"`
+	MsgID    int    `json:"msg,omitempty"`
+	IsSend   bool   `json:"send,omitempty"`
+
+	PayloadKind string          `json:"pkind,omitempty"` // "vfs" | "block"
+	Payload     json.RawMessage `json:"payload,omitempty"`
+}
+
+// wireVFSOp mirrors vfs.Op for JSON.
+type wireVFSOp struct {
+	Kind   vfs.OpKind `json:"kind"`
+	Path   string     `json:"path,omitempty"`
+	Path2  string     `json:"path2,omitempty"`
+	Offset int64      `json:"offset,omitempty"`
+	Size   int64      `json:"size,omitempty"`
+	Data   []byte     `json:"data,omitempty"`
+	Name   string     `json:"name,omitempty"`
+	Value  []byte     `json:"value,omitempty"`
+}
+
+// wireBlockOp mirrors blockdev.Op for JSON.
+type wireBlockOp struct {
+	Kind blockdev.OpKind `json:"kind"`
+	LBA  int64           `json:"lba,omitempty"`
+	Data []byte          `json:"data,omitempty"`
+}
+
+// Encode serialises a trace to JSON.
+func Encode(ops []*Op) ([]byte, error) {
+	out := make([]wireOp, 0, len(ops))
+	for _, o := range ops {
+		w := wireOp{
+			ID: o.ID, Layer: o.Layer, Proc: o.Proc, Name: o.Name,
+			Path: o.Path, Path2: o.Path2, Offset: o.Offset, Size: o.Size,
+			Data: o.Data, Meta: o.Meta, Sync: o.Sync, DataSync: o.DataSync,
+			FileID: o.FileID, Tag: o.Tag, Parent: o.Parent, MsgID: o.MsgID,
+			IsSend: o.IsSend,
+		}
+		switch p := o.Payload.(type) {
+		case nil:
+		case vfs.Op:
+			raw, err := json.Marshal(wireVFSOp{
+				Kind: p.Kind, Path: p.Path, Path2: p.Path2, Offset: p.Offset,
+				Size: p.Size, Data: p.Data, Name: p.Name, Value: p.Value,
+			})
+			if err != nil {
+				return nil, err
+			}
+			w.PayloadKind, w.Payload = "vfs", raw
+		case blockdev.Op:
+			raw, err := json.Marshal(wireBlockOp{Kind: p.Kind, LBA: p.LBA, Data: p.Data})
+			if err != nil {
+				return nil, err
+			}
+			w.PayloadKind, w.Payload = "block", raw
+		default:
+			return nil, fmt.Errorf("trace: encode: op #%d has unsupported payload %T", o.ID, o.Payload)
+		}
+		out = append(out, w)
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// Decode deserialises a trace produced by Encode.
+func Decode(data []byte) ([]*Op, error) {
+	var wire []wireOp
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	out := make([]*Op, 0, len(wire))
+	for _, w := range wire {
+		o := &Op{
+			ID: w.ID, Layer: w.Layer, Proc: w.Proc, Name: w.Name,
+			Path: w.Path, Path2: w.Path2, Offset: w.Offset, Size: w.Size,
+			Data: w.Data, Meta: w.Meta, Sync: w.Sync, DataSync: w.DataSync,
+			FileID: w.FileID, Tag: w.Tag, Parent: w.Parent, MsgID: w.MsgID,
+			IsSend: w.IsSend,
+		}
+		switch w.PayloadKind {
+		case "":
+		case "vfs":
+			var p wireVFSOp
+			if err := json.Unmarshal(w.Payload, &p); err != nil {
+				return nil, fmt.Errorf("trace: decode vfs payload of #%d: %w", w.ID, err)
+			}
+			o.Payload = vfs.Op{
+				Kind: p.Kind, Path: p.Path, Path2: p.Path2, Offset: p.Offset,
+				Size: p.Size, Data: p.Data, Name: p.Name, Value: p.Value,
+			}
+		case "block":
+			var p wireBlockOp
+			if err := json.Unmarshal(w.Payload, &p); err != nil {
+				return nil, fmt.Errorf("trace: decode block payload of #%d: %w", w.ID, err)
+			}
+			o.Payload = blockdev.Op{Kind: p.Kind, LBA: p.LBA, Data: p.Data}
+		default:
+			return nil, fmt.Errorf("trace: decode: unknown payload kind %q", w.PayloadKind)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"paracrash/internal/blockdev"
+	"paracrash/internal/vfs"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ops := []*Op{
+		{ID: 1, Layer: LayerPFS, Proc: "client/0", Name: "creat", Path: "/f",
+			FileID: "/f", Meta: true, Parent: -1},
+		{ID: 2, Layer: LayerLocalFS, Proc: "meta/0", Name: "pwrite", Path: "/db",
+			Offset: 256, Size: 3, Data: []byte("abc"), Parent: 1, Tag: "keyval.db",
+			Payload: vfs.Op{Kind: vfs.OpWrite, Path: "/db", Offset: 256, Data: []byte("abc")}},
+		{ID: 3, Layer: LayerLocalFS, Proc: "meta/0", Name: "fdatasync", Path: "/db",
+			Sync: true, DataSync: true, FileID: "/db", Parent: 1,
+			Payload: vfs.Op{Kind: vfs.OpSync, Path: "/db"}},
+		{ID: 4, Layer: LayerBlock, Proc: "server/1", Name: "scsi_write", Offset: 100,
+			Parent: -1, Tag: "inode", MsgID: 7, IsSend: true,
+			Payload: blockdev.Op{Kind: blockdev.OpWrite, LBA: 100, Data: []byte{1, 2}}},
+		{ID: 5, Layer: LayerIOLib, Proc: "client/0", Name: "H5Dcreate", Path: "/g1/d",
+			Data: []byte(`[4,4]`), Parent: -1},
+	}
+	data, err := Encode(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(back), len(ops))
+	}
+	for i := range ops {
+		if !reflect.DeepEqual(*ops[i], *back[i]) {
+			t.Errorf("op %d round-trip mismatch:\n%+v\n%+v", i, *ops[i], *back[i])
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+	if _, err := Decode([]byte(`[{"id":1,"pkind":"alien","payload":{}}]`)); err == nil {
+		t.Fatal("unknown payload kind must not decode")
+	}
+}
+
+func TestEncodeRejectsUnknownPayload(t *testing.T) {
+	if _, err := Encode([]*Op{{ID: 1, Payload: 42}}); err == nil {
+		t.Fatal("unsupported payload must not encode")
+	}
+}

@@ -1,0 +1,46 @@
+// Package tsp provides the greedy travelling-salesman ordering used by the
+// optimized crash-state exploration (paper §5.3): crash states are nodes,
+// the distance between two states is the number of PFS servers whose
+// local state differs, and visiting states along a short tour minimises
+// server restarts during incremental reconstruction.
+//
+// This mirrors the paper's use of the greedy, suboptimal tsp-solver2.
+package tsp
+
+// GreedyOrder returns a visiting order over n nodes starting at node 0,
+// repeatedly moving to the nearest unvisited node (ties broken by lowest
+// index). dist must be symmetric; it is called O(n²) times.
+func GreedyOrder(n int, dist func(i, j int) int) []int {
+	if n <= 0 {
+		return nil
+	}
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+	cur := 0
+	visited[0] = true
+	order = append(order, 0)
+	for len(order) < n {
+		best, bestD := -1, int(^uint(0)>>1)
+		for j := 0; j < n; j++ {
+			if visited[j] {
+				continue
+			}
+			if d := dist(cur, j); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		visited[best] = true
+		order = append(order, best)
+		cur = best
+	}
+	return order
+}
+
+// TourCost returns the total distance of visiting nodes in the given order.
+func TourCost(order []int, dist func(i, j int) int) int {
+	total := 0
+	for k := 1; k < len(order); k++ {
+		total += dist(order[k-1], order[k])
+	}
+	return total
+}

@@ -1,0 +1,95 @@
+package tsp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyOrderVisitsAllOnce(t *testing.T) {
+	dist := func(i, j int) int { return abs(i - j) }
+	order := GreedyOrder(6, dist)
+	if len(order) != 6 {
+		t.Fatalf("len = %d", len(order))
+	}
+	seen := map[int]bool{}
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("node %d visited twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestGreedyOrderOnALine(t *testing.T) {
+	// Nodes on a line starting at 0: greedy visits them in order, cost n-1.
+	dist := func(i, j int) int { return abs(i - j) }
+	order := GreedyOrder(5, dist)
+	if TourCost(order, dist) != 4 {
+		t.Fatalf("line tour cost = %d, want 4 (order %v)", TourCost(order, dist), order)
+	}
+}
+
+func TestGreedyBeatsRandomOnClusters(t *testing.T) {
+	// Two clusters of points: greedy should stay within a cluster before
+	// jumping, beating the identity order.
+	coords := []int{0, 1, 2, 100, 101, 102, 3, 103}
+	dist := func(i, j int) int { return abs(coords[i] - coords[j]) }
+	order := GreedyOrder(len(coords), dist)
+	identity := make([]int, len(coords))
+	for i := range identity {
+		identity[i] = i
+	}
+	if TourCost(order, dist) >= TourCost(identity, dist) {
+		t.Fatalf("greedy (%d) should beat identity (%d)",
+			TourCost(order, dist), TourCost(identity, dist))
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if GreedyOrder(0, nil) != nil {
+		t.Fatal("empty tour should be nil")
+	}
+	if got := GreedyOrder(1, func(i, j int) int { return 0 }); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single-node tour = %v", got)
+	}
+}
+
+func TestQuickGreedyIsAPermutation(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		r := rand.New(rand.NewSource(seed))
+		d := make([][]int, n)
+		for i := range d {
+			d[i] = make([]int, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := r.Intn(100)
+				d[i][j], d[j][i] = v, v
+			}
+		}
+		order := GreedyOrder(n, func(i, j int) int { return d[i][j] })
+		if len(order) != n || order[0] != 0 {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range order {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,365 @@
+package vfs
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateWriteRead(t *testing.T) {
+	fs := New()
+	if err := fs.Create("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteAt("/a", 0, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.Read("/a")
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("Read = %q, %v", b, err)
+	}
+	if err := fs.WriteAt("/a", 10, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = fs.Read("/a")
+	if len(b) != 11 || b[10] != 'x' || b[5] != 0 {
+		t.Fatalf("sparse write wrong: %q", b)
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	fs := New()
+	must(t, fs.Create("/a"))
+	must(t, fs.WriteAt("/a", 0, []byte("data")))
+	must(t, fs.Create("/a"))
+	if sz, _ := fs.Size("/a"); sz != 0 {
+		t.Fatalf("creat should truncate, size=%d", sz)
+	}
+}
+
+func TestMissingParent(t *testing.T) {
+	fs := New()
+	if err := fs.Create("/no/such/a"); err == nil {
+		t.Fatal("creat without parent should fail")
+	}
+	if err := fs.Mkdir("/x/y"); err == nil {
+		t.Fatal("mkdir without parent should fail")
+	}
+	must(t, fs.MkdirAll("/x/y/z"))
+	if !fs.IsDir("/x/y/z") {
+		t.Fatal("MkdirAll did not create the chain")
+	}
+}
+
+func TestAppendAndTruncate(t *testing.T) {
+	fs := New()
+	must(t, fs.Create("/a"))
+	must(t, fs.Append("/a", []byte("ab")))
+	must(t, fs.Append("/a", []byte("cd")))
+	b, _ := fs.Read("/a")
+	if string(b) != "abcd" {
+		t.Fatalf("append: %q", b)
+	}
+	must(t, fs.Truncate("/a", 2))
+	b, _ = fs.Read("/a")
+	if string(b) != "ab" {
+		t.Fatalf("truncate shrink: %q", b)
+	}
+	must(t, fs.Truncate("/a", 4))
+	b, _ = fs.Read("/a")
+	if !bytes.Equal(b, []byte{'a', 'b', 0, 0}) {
+		t.Fatalf("truncate grow: %q", b)
+	}
+}
+
+func TestHardLinks(t *testing.T) {
+	fs := New()
+	must(t, fs.Create("/a"))
+	must(t, fs.WriteAt("/a", 0, []byte("v1")))
+	must(t, fs.Link("/a", "/b"))
+	// Writing through one name is visible through the other.
+	must(t, fs.WriteAt("/b", 0, []byte("v2")))
+	b, _ := fs.Read("/a")
+	if string(b) != "v2" {
+		t.Fatalf("link aliasing broken: %q", b)
+	}
+	// Unlinking one name keeps the inode alive.
+	must(t, fs.Unlink("/a"))
+	if _, err := fs.Read("/b"); err != nil {
+		t.Fatalf("inode freed too early: %v", err)
+	}
+	must(t, fs.Unlink("/b"))
+	if fs.Exists("/b") {
+		t.Fatal("unlink left the name")
+	}
+	// Linking to a missing source fails.
+	if err := fs.Link("/nope", "/c"); err == nil {
+		t.Fatal("link to missing source should fail")
+	}
+}
+
+func TestRenameFileReplacesTarget(t *testing.T) {
+	fs := New()
+	must(t, fs.Create("/a"))
+	must(t, fs.WriteAt("/a", 0, []byte("new")))
+	must(t, fs.Create("/b"))
+	must(t, fs.WriteAt("/b", 0, []byte("old")))
+	must(t, fs.Rename("/a", "/b"))
+	if fs.Exists("/a") {
+		t.Fatal("source still present")
+	}
+	b, _ := fs.Read("/b")
+	if string(b) != "new" {
+		t.Fatalf("rename did not replace: %q", b)
+	}
+}
+
+func TestRenameDirectoryMovesChildren(t *testing.T) {
+	fs := New()
+	must(t, fs.MkdirAll("/d/sub"))
+	must(t, fs.Create("/d/sub/f"))
+	must(t, fs.Rename("/d", "/e"))
+	if !fs.Exists("/e/sub/f") || fs.Exists("/d") {
+		t.Fatalf("dir rename incomplete: %v", fs.Walk())
+	}
+	// Renaming over a non-empty directory fails.
+	must(t, fs.Mkdir("/d"))
+	must(t, fs.Create("/e/x"))
+	if err := fs.Rename("/d", "/e"); err == nil {
+		t.Fatal("rename over non-empty dir should fail")
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	fs := New()
+	must(t, fs.Mkdir("/d"))
+	must(t, fs.Create("/d/f"))
+	if err := fs.Rmdir("/d"); err == nil {
+		t.Fatal("rmdir of non-empty dir should fail")
+	}
+	must(t, fs.Unlink("/d/f"))
+	must(t, fs.Rmdir("/d"))
+	if fs.Exists("/d") {
+		t.Fatal("rmdir left the directory")
+	}
+}
+
+func TestXattrs(t *testing.T) {
+	fs := New()
+	must(t, fs.Create("/a"))
+	must(t, fs.SetXattr("/a", "k1", []byte("v1")))
+	must(t, fs.SetXattr("/a", "k2", []byte("v2")))
+	v, ok := fs.GetXattr("/a", "k1")
+	if !ok || string(v) != "v1" {
+		t.Fatalf("GetXattr: %q %v", v, ok)
+	}
+	if names := fs.Xattrs("/a"); !reflect.DeepEqual(names, []string{"k1", "k2"}) {
+		t.Fatalf("Xattrs = %v", names)
+	}
+	must(t, fs.RemoveXattr("/a", "k1"))
+	if _, ok := fs.GetXattr("/a", "k1"); ok {
+		t.Fatal("xattr not removed")
+	}
+}
+
+func TestListAndWalk(t *testing.T) {
+	fs := New()
+	must(t, fs.Mkdir("/d"))
+	must(t, fs.Create("/d/b"))
+	must(t, fs.Create("/d/a"))
+	must(t, fs.Mkdir("/d/c"))
+	ls, err := fs.List("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ls, []string{"/d/a", "/d/b", "/d/c"}) {
+		t.Fatalf("List = %v", ls)
+	}
+	// List of a nested child does not leak grandchildren.
+	must(t, fs.Create("/d/c/deep"))
+	ls, _ = fs.List("/d")
+	if len(ls) != 3 {
+		t.Fatalf("List leaked grandchildren: %v", ls)
+	}
+}
+
+func TestSnapshotRestoreIsolation(t *testing.T) {
+	fs := New()
+	must(t, fs.Create("/a"))
+	must(t, fs.WriteAt("/a", 0, []byte("orig")))
+	snap := fs.Snapshot()
+	must(t, fs.WriteAt("/a", 0, []byte("mod!")))
+	must(t, fs.Create("/b"))
+	// The snapshot is isolated from later changes.
+	b, _ := snap.Read("/a")
+	if string(b) != "orig" {
+		t.Fatalf("snapshot mutated: %q", b)
+	}
+	fs.Restore(snap)
+	if fs.Exists("/b") {
+		t.Fatal("restore kept /b")
+	}
+	b, _ = fs.Read("/a")
+	if string(b) != "orig" {
+		t.Fatalf("restore content: %q", b)
+	}
+	// Restoring does not tie fs to snap: further changes stay isolated.
+	must(t, fs.WriteAt("/a", 0, []byte("agn!")))
+	b, _ = snap.Read("/a")
+	if string(b) != "orig" {
+		t.Fatal("restore aliased the snapshot")
+	}
+}
+
+func TestSerializeReflectsState(t *testing.T) {
+	a, b := New(), New()
+	must(t, a.Create("/f"))
+	must(t, b.Create("/f"))
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical states hash differently")
+	}
+	must(t, a.WriteAt("/f", 0, []byte("x")))
+	if a.Hash() == b.Hash() {
+		t.Fatal("different contents hash equal")
+	}
+	must(t, b.WriteAt("/f", 0, []byte("x")))
+	must(t, a.SetXattr("/f", "k", []byte("v")))
+	if a.Hash() == b.Hash() {
+		t.Fatal("xattr difference not reflected in hash")
+	}
+}
+
+// randomOps generates a plausible op sequence for property tests.
+func randomOps(r *rand.Rand, n int) []Op {
+	paths := []string{"/a", "/b", "/d/x", "/d/y"}
+	var ops []Op
+	ops = append(ops, Op{Kind: OpMkdir, Path: "/d"})
+	for i := 0; i < n; i++ {
+		p := paths[r.Intn(len(paths))]
+		switch r.Intn(7) {
+		case 0:
+			ops = append(ops, Op{Kind: OpCreate, Path: p})
+		case 1:
+			ops = append(ops, Op{Kind: OpWrite, Path: p, Offset: int64(r.Intn(16)), Data: []byte{byte(r.Intn(256))}})
+		case 2:
+			ops = append(ops, Op{Kind: OpAppend, Path: p, Data: []byte("z")})
+		case 3:
+			ops = append(ops, Op{Kind: OpRename, Path: p, Path2: paths[r.Intn(len(paths))]})
+		case 4:
+			ops = append(ops, Op{Kind: OpUnlink, Path: p})
+		case 5:
+			ops = append(ops, Op{Kind: OpSetXattr, Path: p, Name: "k", Value: []byte{byte(r.Intn(256))}})
+		case 6:
+			ops = append(ops, Op{Kind: OpLink, Path: p, Path2: paths[r.Intn(len(paths))]})
+		}
+	}
+	return ops
+}
+
+// TestQuickReplayDeterminism: applying the same op sequence to two fresh
+// file systems yields identical canonical states — the property legal-state
+// replay depends on.
+func TestQuickReplayDeterminism(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops := randomOps(r, int(n%48))
+		a, b := New(), New()
+		for _, op := range ops {
+			_ = a.Apply(op)
+		}
+		for _, op := range ops {
+			_ = b.Apply(op)
+		}
+		return a.Serialize() == b.Serialize()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSnapshotRoundTrip: snapshot + mutations + restore always returns
+// to the canonical pre-mutation state.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		fs := New()
+		for _, op := range randomOps(r, 16) {
+			_ = fs.Apply(op)
+		}
+		before := fs.Serialize()
+		snap := fs.Snapshot()
+		for _, op := range randomOps(r, int(n%48)) {
+			_ = fs.Apply(op)
+		}
+		fs.Restore(snap)
+		return fs.Serialize() == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickApplyNeverPanics: arbitrary op sequences only return errors.
+func TestQuickApplyNeverPanics(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		fs := New()
+		for _, op := range randomOps(r, 64) {
+			_ = fs.Apply(op)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalModeStrings(t *testing.T) {
+	for m, want := range map[JournalMode]string{
+		JournalData:      "data=journal",
+		JournalOrdered:   "data=ordered",
+		JournalWriteback: "data=writeback",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestOpKindMeta(t *testing.T) {
+	if OpWrite.Meta() || OpAppend.Meta() {
+		t.Error("data ops must not be metadata")
+	}
+	for _, k := range []OpKind{OpCreate, OpMkdir, OpRename, OpLink, OpUnlink, OpSetXattr, OpSync} {
+		if !k.Meta() {
+			t.Errorf("%v should be metadata", k)
+		}
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameIntoOwnSubtreeFails(t *testing.T) {
+	fs := New()
+	must(t, fs.MkdirAll("/d/sub"))
+	if err := fs.Rename("/d", "/d/sub/x"); err == nil {
+		t.Fatal("renaming a directory into its own subtree must fail")
+	}
+	// Self-rename is a no-op.
+	must(t, fs.Rename("/d", "/d"))
+	if !fs.IsDir("/d/sub") {
+		t.Fatal("self-rename damaged the tree")
+	}
+}

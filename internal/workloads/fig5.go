@@ -1,0 +1,59 @@
+package workloads
+
+import (
+	"paracrash/internal/paracrash"
+	"paracrash/internal/pfs"
+	"paracrash/internal/trace"
+)
+
+// fig5Program is the paper's Figure 5 two-process example, used to
+// illustrate the consistency models:
+//
+//	Process 0: write(fd1, "A"); send(buf); write(fd2, "B"); crash
+//	Process 1: recv(buf); write(fd3, "C"); fsync(fd3); crash
+//
+// With strict consistency all three writes are preserved; with commit
+// consistency only C is guaranteed; causal consistency preserves A and C;
+// baseline consistency may lose all three.
+type fig5Program struct{}
+
+// Fig5Program returns the Figure 5 example as a runnable workload.
+func Fig5Program() paracrash.Workload { return fig5Program{} }
+
+// Name implements paracrash.Workload.
+func (fig5Program) Name() string { return "Fig5" }
+
+// Preamble implements paracrash.Workload.
+func (fig5Program) Preamble(fs pfs.FileSystem) error {
+	c := fs.Client(0)
+	for _, f := range []string{"/f1", "/f2", "/f3"} {
+		if err := c.Create(f); err != nil {
+			return err
+		}
+		if err := c.Close(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run implements paracrash.Workload.
+func (fig5Program) Run(fs pfs.FileSystem) error {
+	c0, c1 := fs.Client(0), fs.Client(1)
+	rec := fs.Recorder()
+	if err := c0.WriteAt("/f1", 0, []byte("A")); err != nil {
+		return err
+	}
+	// P0 sends to P1 (the inter-process synchronisation that makes
+	// write(A) happen-before write(C)).
+	m := rec.NewMsgID()
+	rec.Record(trace.Op{Layer: trace.LayerApp, Proc: c0.Proc(), Name: "send", MsgID: m, IsSend: true})
+	rec.Record(trace.Op{Layer: trace.LayerApp, Proc: c1.Proc(), Name: "recv", MsgID: m})
+	if err := c1.WriteAt("/f3", 0, []byte("C")); err != nil {
+		return err
+	}
+	if err := c1.Fsync("/f3"); err != nil {
+		return err
+	}
+	return c0.WriteAt("/f2", 0, []byte("B"))
+}

@@ -1,0 +1,233 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"paracrash/internal/paracrash"
+	"paracrash/internal/pfs"
+)
+
+// GenConfig bounds the random POSIX program generator (the paper notes
+// that "ParaCrash allows users to generate their own test programs" —
+// this is the CrashMonkey-style bounded generator for that use).
+type GenConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Ops is the number of operations in the traced body (bounded by the
+	// checker's layer-op budget; keep it under ~12).
+	Ops int
+	// Files and Dirs bound the namespace the program touches.
+	Files int
+	Dirs  int
+	// WithFsync allows fsync operations in the body.
+	WithFsync bool
+}
+
+// DefaultGenConfig returns a small but interesting program shape.
+func DefaultGenConfig(seed int64) GenConfig {
+	return GenConfig{Seed: seed, Ops: 8, Files: 3, Dirs: 2, WithFsync: true}
+}
+
+// genOp is one generated operation.
+type genOp struct {
+	kind  string // creat, pwrite, append, rename, unlink, fsync, close, mkdir
+	path  string
+	path2 string
+	data  []byte
+	off   int64
+}
+
+// genProgram is a deterministic generated workload.
+type genProgram struct {
+	name     string
+	preamble []genOp
+	body     []genOp
+}
+
+// Generate builds a random-but-valid POSIX test program: the generator
+// tracks the namespace model while choosing operations, so a clean run
+// never fails. The same seed always yields the same program.
+func Generate(cfg GenConfig) paracrash.Workload {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Ops <= 0 {
+		cfg.Ops = 8
+	}
+	if cfg.Files <= 0 {
+		cfg.Files = 3
+	}
+
+	// Namespace model during generation.
+	dirs := []string{""}
+	for i := 0; i < cfg.Dirs; i++ {
+		dirs = append(dirs, fmt.Sprintf("/dir%d", i))
+	}
+	var pre []genOp
+	for _, d := range dirs[1:] {
+		pre = append(pre, genOp{kind: "mkdir", path: d})
+	}
+	exists := map[string]bool{}
+	names := make([]string, 0, cfg.Files)
+	for i := 0; i < cfg.Files; i++ {
+		d := dirs[r.Intn(len(dirs))]
+		p := fmt.Sprintf("%s/f%d", d, i)
+		names = append(names, p)
+		// Half the files pre-exist with content.
+		if r.Intn(2) == 0 {
+			pre = append(pre, genOp{kind: "creat", path: p},
+				genOp{kind: "pwrite", path: p, data: payload(r)},
+				genOp{kind: "close", path: p})
+			exists[p] = true
+		}
+	}
+
+	pick := func() string { return names[r.Intn(len(names))] }
+	existing := func() (string, bool) {
+		var alive []string
+		for p := range exists {
+			alive = append(alive, p)
+		}
+		if len(alive) == 0 {
+			return "", false
+		}
+		// Deterministic order: map iteration is random, so sort by pick.
+		best := ""
+		for _, p := range names {
+			if exists[p] {
+				best = p
+				if r.Intn(2) == 0 {
+					break
+				}
+			}
+		}
+		return best, best != ""
+	}
+
+	var body []genOp
+	for len(body) < cfg.Ops {
+		switch r.Intn(6) {
+		case 0: // create a missing file
+			p := pick()
+			if exists[p] {
+				continue
+			}
+			body = append(body, genOp{kind: "creat", path: p})
+			exists[p] = true
+		case 1: // write to an existing file
+			p, ok := existing()
+			if !ok {
+				continue
+			}
+			body = append(body, genOp{kind: "pwrite", path: p, off: int64(r.Intn(2)) * 64, data: payload(r)})
+		case 2: // append
+			p, ok := existing()
+			if !ok {
+				continue
+			}
+			body = append(body, genOp{kind: "append", path: p, data: payload(r)})
+		case 3: // rename over (possibly) existing target
+			src, ok := existing()
+			if !ok {
+				continue
+			}
+			dst := pick()
+			if dst == src {
+				continue
+			}
+			body = append(body, genOp{kind: "rename", path: src, path2: dst})
+			delete(exists, src)
+			exists[dst] = true
+		case 4: // unlink
+			p, ok := existing()
+			if !ok {
+				continue
+			}
+			body = append(body, genOp{kind: "unlink", path: p})
+			delete(exists, p)
+		case 5: // fsync or close
+			p, ok := existing()
+			if !ok {
+				continue
+			}
+			if cfg.WithFsync && r.Intn(2) == 0 {
+				body = append(body, genOp{kind: "fsync", path: p})
+			} else {
+				body = append(body, genOp{kind: "close", path: p})
+			}
+		}
+	}
+	return &genProgram{
+		name:     fmt.Sprintf("gen-%d", cfg.Seed),
+		preamble: pre,
+		body:     body,
+	}
+}
+
+func payload(r *rand.Rand) []byte {
+	b := make([]byte, 16+r.Intn(48))
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return b
+}
+
+// Name implements paracrash.Workload.
+func (g *genProgram) Name() string { return g.name }
+
+// Preamble implements paracrash.Workload.
+func (g *genProgram) Preamble(fs pfs.FileSystem) error {
+	return applyGenOps(fs.Client(0), g.preamble)
+}
+
+// Run implements paracrash.Workload.
+func (g *genProgram) Run(fs pfs.FileSystem) error {
+	return applyGenOps(fs.Client(0), g.body)
+}
+
+// Script renders the program for inspection and reports.
+func (g *genProgram) Script() string {
+	out := ""
+	for _, op := range g.body {
+		switch op.kind {
+		case "pwrite":
+			out += fmt.Sprintf("pwrite(%s, off=%d, %dB)\n", op.path, op.off, len(op.data))
+		case "append":
+			out += fmt.Sprintf("append(%s, %dB)\n", op.path, len(op.data))
+		case "rename":
+			out += fmt.Sprintf("rename(%s, %s)\n", op.path, op.path2)
+		default:
+			out += fmt.Sprintf("%s(%s)\n", op.kind, op.path)
+		}
+	}
+	return out
+}
+
+func applyGenOps(c pfs.Client, ops []genOp) error {
+	for _, op := range ops {
+		var err error
+		switch op.kind {
+		case "mkdir":
+			err = c.Mkdir(op.path)
+		case "creat":
+			err = c.Create(op.path)
+		case "pwrite":
+			err = c.WriteAt(op.path, op.off, op.data)
+		case "append":
+			err = c.Append(op.path, op.data)
+		case "rename":
+			err = c.Rename(op.path, op.path2)
+		case "unlink":
+			err = c.Unlink(op.path)
+		case "fsync":
+			err = c.Fsync(op.path)
+		case "close":
+			err = c.Close(op.path)
+		default:
+			err = fmt.Errorf("generated op kind %q", op.kind)
+		}
+		if err != nil {
+			return fmt.Errorf("generated %s(%s): %w", op.kind, op.path, err)
+		}
+	}
+	return nil
+}
