@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples fuzz clean
+.PHONY: all build vet test race ci bench experiments examples fuzz clean
 
 all: build vet test
 
@@ -17,7 +17,10 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/exps/ .
+	$(GO) test -race ./...
+
+# Everything a change must pass before it lands.
+ci: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -11,6 +11,7 @@
 //	experiments -exp table3     # the aggregated bug list
 //	experiments -exp sensitivity # the Table 3 sensitivity studies
 //	experiments -exp speedups   # §6.4 headline numbers on ARVR/BeeGFS
+//	experiments -exp parallel   # worker-pool engine vs serial wall clock
 //	experiments -exp all
 package main
 
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5, fig8, fig9, fig10, fig11, table3, sensitivity, speedups, all")
+	exp := flag.String("exp", "all", "experiment: fig5, fig8, fig9, fig10, fig11, table3, sensitivity, speedups, parallel, all")
 	servers := flag.String("servers", "4,6,8,16,32", "server counts for fig11")
 	flag.Parse()
 
@@ -73,6 +74,16 @@ func main() {
 					float64(res.BruteStates)/float64(res.PrunedStates),
 					float64(res.BruteRestores)/float64(maxInt(res.OptRestores, 1)))
 			}
+		case "parallel":
+			res, err := exps.ParallelSpeedup("beegfs", "ARVR", h5p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Println("parallel exploration (brute-force ARVR on BeeGFS):")
+			fmt.Printf("  serial   (workers=1):  %.4fs\n", res.SerialSeconds)
+			fmt.Printf("  parallel (workers=%d): %.4fs  (%.1fx speedup)\n", res.Workers, res.ParallelSeconds, res.Speedup)
+			fmt.Printf("  states checked: %d, bugs: %d, reports identical: %v\n", res.States, res.Bugs, res.Identical)
 		default:
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -80,7 +91,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig5", "fig8", "fig9", "fig10", "fig11", "table3", "sensitivity", "speedups"} {
+		for _, name := range []string{"fig5", "fig8", "fig9", "fig10", "fig11", "table3", "sensitivity", "speedups", "parallel"} {
 			fmt.Printf("################ %s ################\n", name)
 			run(name)
 		}

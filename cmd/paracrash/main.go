@@ -30,6 +30,7 @@ func main() {
 		pfsModel = flag.String("pfs-model", "causal", "PFS consistency model: strict, commit, causal, baseline")
 		libModel = flag.String("lib-model", "baseline", "I/O library consistency model")
 		k        = flag.Int("k", 1, "max victims per crash front (Algorithm 1's k)")
+		workers  = flag.Int("workers", 0, "parallel exploration workers (0 = one per CPU, 1 = serial)")
 		servers  = flag.Int("servers", 0, "override total server count (0 = paper default)")
 		stripe   = flag.Int64("stripe", 0, "override stripe size in bytes (0 = default)")
 		clients  = flag.Int("clients", 2, "MPI ranks for the parallel programs")
@@ -60,6 +61,7 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.Emulator.K = *k
+	opts.Workers = *workers
 	switch *mode {
 	case "brute":
 		opts.Mode = core.ModeBrute

@@ -8,6 +8,11 @@ import (
 // Bitset is a fixed-capacity bit vector used to represent op sets (crash
 // states, cuts, closures) compactly. The capacity is fixed at creation; all
 // operations assume operands of equal capacity.
+//
+// A Bitset is safe for concurrent readers as long as no goroutine mutates
+// it; the exploration engine shares crash-front bitsets read-only across
+// workers (mutating methods like Set/Subtract are only ever applied to
+// Clone()d copies there).
 type Bitset []uint64
 
 // NewBitset returns a bitset able to hold n bits, all clear.

@@ -2,6 +2,13 @@
 // over traced operations and derives from it everything the crash emulator
 // needs: the happens-before partial order, consistent cuts (order ideals),
 // and the persists-before relation of the paper's Algorithm 2.
+//
+// Concurrency: Graph and PersistOrder are fully precomputed by Build and
+// NewPersistOrder respectively and never mutated afterwards, so all their
+// query methods (HB, Ideals, DownwardClosed, SyncFeasible, PersistsBefore,
+// DependsOn, ...) are safe to call from multiple goroutines concurrently.
+// The parallel exploration engine relies on this: shard workers share one
+// Graph and one PersistOrder without locking.
 package causality
 
 import (

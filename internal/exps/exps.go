@@ -458,6 +458,74 @@ type SpeedupResult struct {
 	BruteBugs, PrunedBugs, OptBug int
 }
 
+// ReportFingerprint canonicalises a report for equality comparison across
+// runs: every field except the wall-clock Duration (the one quantity a
+// parallel run is allowed to change).
+func ReportFingerprint(rep *paracrash.Report) string {
+	stats := rep.Stats
+	stats.Duration = 0
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%s|%+v|%d|%d\n", rep.Program, rep.FS, rep.Mode, stats, rep.Inconsistent, rep.LibOnly)
+	for _, st := range rep.States {
+		fmt.Fprintf(&b, "S %+v\n", st)
+	}
+	for _, bug := range rep.Bugs {
+		fmt.Fprintf(&b, "B %+v\n", *bug)
+	}
+	return b.String()
+}
+
+// ParallelResult compares serial against parallel exploration of one
+// (program, fs) cell.
+type ParallelResult struct {
+	Workers         int
+	SerialSeconds   float64
+	ParallelSeconds float64
+	Speedup         float64
+	// Identical reports whether the two runs produced byte-identical
+	// reports (modulo Duration) — the engine's determinism guarantee.
+	Identical bool
+	States    int
+	Bugs      int
+}
+
+// ParallelSpeedup measures the worker-pool engine against the serial
+// engine on a brute-force exploration (every crash state is checked, so
+// the work parallelises fully) and verifies the determinism guarantee.
+func ParallelSpeedup(fsName, progName string, h5p workloads.H5Params) (*ParallelResult, error) {
+	prog, err := ProgramByName(progName)
+	if err != nil {
+		return nil, err
+	}
+	run := func(workers int) (*paracrash.Report, error) {
+		opts := paracrash.DefaultOptions()
+		opts.Mode = paracrash.ModeBrute
+		opts.Workers = workers
+		return RunOne(fsName, prog, opts, h5p, ConfigFor(fsName))
+	}
+	serial, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	workers := runtime.NumCPU()
+	par, err := run(workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &ParallelResult{
+		Workers:         workers,
+		SerialSeconds:   serial.Stats.Duration.Seconds(),
+		ParallelSeconds: par.Stats.Duration.Seconds(),
+		Identical:       ReportFingerprint(serial) == ReportFingerprint(par),
+		States:          par.Stats.StatesChecked,
+		Bugs:            len(par.Bugs),
+	}
+	if res.ParallelSeconds > 0 {
+		res.Speedup = res.SerialSeconds / res.ParallelSeconds
+	}
+	return res, nil
+}
+
 // Speedups measures the three strategies on one (program, fs) pair.
 func Speedups(fsName, progName string, h5p workloads.H5Params) (*SpeedupResult, error) {
 	prog, err := ProgramByName(progName)

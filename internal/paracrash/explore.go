@@ -2,14 +2,13 @@ package paracrash
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
 	"strings"
 	"time"
 
 	"paracrash/internal/causality"
 	"paracrash/internal/pfs"
 	"paracrash/internal/trace"
-	"paracrash/internal/tsp"
 )
 
 // Workload is a test program: a preamble that builds the initial storage
@@ -95,6 +94,17 @@ type Options struct {
 	// MaxLegalStates caps legal-state enumeration per crash front.
 	MaxLegalStates int
 
+	// Workers is the number of parallel exploration workers. The generated
+	// crash-state list is sharded round-robin across the workers, each
+	// owning a detached clone of the cluster (see pfs.Cloner) with private
+	// clients and caches; their verdicts are merged on the calling
+	// goroutine in the exact serial visiting order, so the report is
+	// byte-identical to a Workers=1 run except for Stats.Duration.
+	// 0 (the zero value) means runtime.NumCPU(); 1 forces today's serial
+	// engine. File systems that do not implement pfs.Cloner always run
+	// serially regardless of this setting.
+	Workers int
+
 	// Ablation switches (the design choices measured by the Ablation
 	// benchmarks; both default to the paper's behaviour).
 	//
@@ -121,7 +131,17 @@ func DefaultOptions() Options {
 		},
 		MaxLayerOps:    20,
 		MaxLegalStates: 50000,
+		Workers:        runtime.NumCPU(),
 	}
+}
+
+// effectiveWorkers resolves the Workers knob: the zero value means one
+// worker per CPU.
+func (o Options) effectiveWorkers() int {
+	if o.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
 }
 
 // Stats records exploration effort, the quantities behind Figures 10/11.
@@ -194,6 +214,13 @@ type checkResult struct {
 	// state is the canonical content of the recovered state at the failing
 	// layer (empty when consistent); the bug dedup keys on it.
 	state string
+	// pfsLegalN/libLegalN record the sizes of the legal-state sets consulted
+	// by the verdict (0 when a set was not needed on the taken branch).
+	// They let the merge pass of a parallel run charge LegalPFSStates /
+	// LegalLibStates exactly as a serial verdict would have, without
+	// recomputing the sets.
+	pfsLegalN int
+	libLegalN int
 }
 
 // session holds everything needed to reconstruct and check crash states.
@@ -219,6 +246,12 @@ type session struct {
 
 	goldenPFS string // strict golden tree (all ops), for consequences
 	goldenLib string
+
+	// outcomeFor, when non-nil (the merge pass of a parallel run), resolves
+	// a front|keep key to a verdict precomputed by a shard worker. check
+	// charges the stats the serial engine would have charged for computing
+	// it and skips the redundant reconstruction.
+	outcomeFor func(key string) (checkResult, bool)
 
 	stats Stats
 }
@@ -356,15 +389,31 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 		}
 	}
 
-	if opts.Mode == ModeOptimized {
-		// Collect states first, order with greedy TSP over per-server
-		// distance, then reconstruct incrementally.
+	workers := opts.effectiveWorkers()
+	cloner, _ := fs.(pfs.Cloner)
+	parallel := workers > 1 && cloner != nil
+
+	if opts.Mode == ModeOptimized || parallel {
+		// Collect states first: the optimized mode orders them with a
+		// greedy TSP over per-server distance, the parallel engine shards
+		// them across workers.
 		var states []CrashState
 		s.stats.StatesGenerated = emu.Generate(emuCfg, func(cs CrashState) bool {
 			states = append(states, cs)
 			return true
 		})
-		s.runOptimized(states, skip, handle)
+		switch {
+		case parallel && len(states) > 1:
+			s.runParallel(states, cloner, workers, skip, handle, bugs)
+		case opts.Mode == ModeOptimized:
+			s.runOptimized(states, skip, handle)
+		default:
+			for _, cs := range states {
+				if !skip(cs) {
+					handle(cs)
+				}
+			}
+		}
 	} else {
 		s.stats.StatesGenerated = emu.Generate(emuCfg, func(cs CrashState) bool {
 			if !skip(cs) {
@@ -425,10 +474,40 @@ func (s *session) check(cs CrashState) checkResult {
 	if r, ok := s.checkCache[key]; ok {
 		return r
 	}
+	if s.outcomeFor != nil {
+		if r, ok := s.outcomeFor(key); ok {
+			// A shard worker already reconstructed and judged this state;
+			// charge exactly what reconstruct+verdict would have charged.
+			s.stats.ServerRestores += len(s.fs.Procs())
+			s.stats.OpsReplayed += s.keptUniverse(cs)
+			s.chargeLegal(r)
+			s.checkCache[key] = r
+			return r
+		}
+	}
 	s.reconstruct(cs)
 	r := s.verdict(cs)
 	s.checkCache[key] = r
 	return r
+}
+
+// keptUniverse counts the kept replayable ops of a crash state — the number
+// of ops reconstruct would replay.
+func (s *session) keptUniverse(cs CrashState) int {
+	n := 0
+	for _, i := range s.emu.Universe {
+		if cs.Keep.Get(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// chargeLegal folds a verdict's recorded legal-set sizes into the stats
+// (idempotent: the maxima only grow).
+func (s *session) chargeLegal(r checkResult) {
+	s.stats.LegalPFSStates = max(s.stats.LegalPFSStates, r.pfsLegalN)
+	s.stats.LegalLibStates = max(s.stats.LegalLibStates, r.libLegalN)
 }
 
 // verdict checks the current (already reconstructed) cluster state against
@@ -447,24 +526,26 @@ func (s *session) verdict(cs CrashState) checkResult {
 	treeStr := tree.Serialize()
 
 	if s.lib == nil {
-		if s.legalPFS(cs, pfsStatus)[treeStr] {
-			return checkResult{consistent: true}
+		legal := s.legalPFS(cs, pfsStatus)
+		if legal[treeStr] {
+			return checkResult{consistent: true, pfsLegalN: len(legal)}
 		}
-		return checkResult{layer: "pfs", consequence: s.describePFS(treeStr), state: treeStr}
+		return checkResult{layer: "pfs", consequence: s.describePFS(treeStr), state: treeStr, pfsLegalN: len(legal)}
 	}
 
 	// Top-down: library first.
 	libStatus := s.libOps.StatusAgainst(cs.Front)
 	legalLib := s.legalLib(cs, libStatus)
+	libN := len(legalLib)
 
 	libState, lerr := s.lib.StateFromTree(tree)
 	if lerr == nil && legalLib[libState] {
-		return checkResult{consistent: true}
+		return checkResult{consistent: true, libLegalN: libN}
 	}
 	// Run the library's recovery tools before declaring inconsistency.
 	if fixed, changed := s.lib.RecoverTree(tree); changed {
 		if st, err2 := s.lib.StateFromTree(fixed); err2 == nil && legalLib[st] {
-			return checkResult{consistent: true}
+			return checkResult{consistent: true, libLegalN: libN}
 		}
 	}
 
@@ -477,10 +558,11 @@ func (s *session) verdict(cs CrashState) checkResult {
 	} else {
 		consequence = s.describeLib(libState)
 	}
-	if s.legalPFS(cs, pfsStatus)[treeStr] {
-		return checkResult{layer: s.lib.Name(), consequence: consequence, state: libKey}
+	legalPFS := s.legalPFS(cs, pfsStatus)
+	if legalPFS[treeStr] {
+		return checkResult{layer: s.lib.Name(), consequence: consequence, state: libKey, pfsLegalN: len(legalPFS), libLegalN: libN}
 	}
-	return checkResult{layer: "pfs", consequence: consequence + " (PFS state also illegal)", state: treeStr}
+	return checkResult{layer: "pfs", consequence: consequence + " (PFS state also illegal)", state: treeStr, pfsLegalN: len(legalPFS), libLegalN: libN}
 }
 
 // describePFS summarises how the recovered tree differs from the golden
@@ -614,45 +696,9 @@ func (s *session) runOptimized(states []CrashState, skip func(CrashState) bool, 
 	if len(states) == 0 {
 		return
 	}
-	serverOps := s.emu.ServerOps()
-	procs := make([]string, 0, len(serverOps))
-	for p := range serverOps {
-		procs = append(procs, p)
-	}
-	sort.Strings(procs)
-
-	// Per-state, per-server signatures of the kept subsequence.
-	sigs := make([][]string, len(states))
-	for i, cs := range states {
-		sigs[i] = make([]string, len(procs))
-		for pi, p := range procs {
-			var b strings.Builder
-			for _, n := range serverOps[p] {
-				if cs.Keep.Get(n) {
-					fmt.Fprintf(&b, "%d,", n)
-				}
-			}
-			sigs[i][pi] = b.String()
-		}
-	}
-	dist := func(i, j int) int {
-		d := 0
-		for pi := range procs {
-			if sigs[i][pi] != sigs[j][pi] {
-				d++
-			}
-		}
-		return d
-	}
-	var order []int
-	if s.opts.DisableTSP {
-		order = make([]int, len(states))
-		for i := range order {
-			order[i] = i
-		}
-	} else {
-		order = tsp.GreedyOrder(len(states), dist)
-	}
+	procs, serverOps := s.emu.serverProcs()
+	sigs := stateSigs(states, procs, serverOps)
+	order := exploreOrder(len(states), len(procs), sigs, s.opts.DisableTSP)
 
 	cur := make([]string, len(procs))
 	for i := range cur {

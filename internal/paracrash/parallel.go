@@ -1,0 +1,344 @@
+// Parallel crash-state exploration: the generated crash-state list is
+// sharded across N workers, each owning a detached clone of the cluster
+// (pfs.Cloner) with its own clients, reconstruction scratch state and
+// replay/check caches. Workers only *judge* states — every verdict is
+// published to a result board keyed by crash-state index. The calling
+// goroutine then replays the exact serial exploration (same visiting
+// order, same pruning decisions, same classifier probes) but satisfies
+// its checks from the board, charging the stats a serial reconstruction
+// would have charged. The report is therefore byte-identical to a
+// Workers=1 run except for Stats.Duration.
+//
+// Pruning is speculative on the workers: they consult the shared BugSet
+// (mutated only by the merge goroutine, read-locked by workers) and skip
+// states that already match a known-bad pair. A worker's pair view at
+// skip time is always a subset of the merge's view when the merge reaches
+// that state, so a skipped state is one the merge would prune too — and
+// if a classifier probe nevertheless needs a skipped state's verdict, the
+// merge computes it locally, exactly as the serial engine would.
+//
+// Everything the workers share — the causality graph, the persist order,
+// the emulator universe, the layer-op tables, the initial snapshot, the
+// golden states and the Library — is immutable during exploration (see
+// the concurrency notes in internal/causality and internal/pfs).
+package paracrash
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"paracrash/internal/pfs"
+	"paracrash/internal/tsp"
+)
+
+// resultBoard collects worker verdicts by crash-state index. await blocks
+// until the state's worker has published (a verdict or a speculative skip);
+// workers themselves never block, so await always terminates.
+type resultBoard struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	res  []checkResult
+	done []bool // published at all
+	have []bool // published with a verdict (false = speculatively skipped)
+}
+
+func newResultBoard(n int) *resultBoard {
+	b := &resultBoard{res: make([]checkResult, n), done: make([]bool, n), have: make([]bool, n)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// publish records the verdict for state i.
+func (b *resultBoard) publish(i int, r checkResult) {
+	b.mu.Lock()
+	b.res[i], b.done[i], b.have[i] = r, true, true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// skip records that state i's worker pruned it speculatively.
+func (b *resultBoard) skip(i int) {
+	b.mu.Lock()
+	b.done[i] = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// await blocks until state i is published and returns its verdict; ok is
+// false when the worker skipped the state.
+func (b *resultBoard) await(i int) (checkResult, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for !b.done[i] {
+		b.cond.Wait()
+	}
+	return b.res[i], b.have[i]
+}
+
+// shardStates deals n state indices round-robin onto w shards, so each
+// shard samples the whole front sequence (neighbouring states of one front
+// share Front bitsets and differ in few servers, keeping shard-local TSP
+// tours short).
+func shardStates(n, w int) [][]int {
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	shards := make([][]int, w)
+	for i := 0; i < n; i++ {
+		shards[i%w] = append(shards[i%w], i)
+	}
+	return shards
+}
+
+// stateKey is the cache/dedup key of a crash state.
+func stateKey(cs CrashState) string {
+	return cs.Front.Key() + "|" + cs.Keep.Key()
+}
+
+// serverProcs returns ServerOps plus the sorted proc names — the
+// deterministic per-server iteration order shared by the serial optimized
+// walk, the shard workers and the merge accounting.
+func (e *Emulator) serverProcs() ([]string, map[string][]int) {
+	serverOps := e.ServerOps()
+	procs := make([]string, 0, len(serverOps))
+	for p := range serverOps {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	return procs, serverOps
+}
+
+// stateSigs computes the per-state, per-server signatures of the kept
+// subsequence (the distance basis of the incremental reconstruction).
+func stateSigs(states []CrashState, procs []string, serverOps map[string][]int) [][]string {
+	sigs := make([][]string, len(states))
+	for i, cs := range states {
+		sigs[i] = make([]string, len(procs))
+		for pi, p := range procs {
+			var b strings.Builder
+			for _, n := range serverOps[p] {
+				if cs.Keep.Get(n) {
+					fmt.Fprintf(&b, "%d,", n)
+				}
+			}
+			sigs[i][pi] = b.String()
+		}
+	}
+	return sigs
+}
+
+// exploreOrder returns the optimized visiting order: the greedy TSP tour
+// over servers-changed distance, or recording order when disabled.
+func exploreOrder(n, nprocs int, sigs [][]string, disableTSP bool) []int {
+	if disableTSP {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
+	dist := func(i, j int) int {
+		d := 0
+		for pi := 0; pi < nprocs; pi++ {
+			if sigs[i][pi] != sigs[j][pi] {
+				d++
+			}
+		}
+		return d
+	}
+	return tsp.GreedyOrder(n, dist)
+}
+
+// shardSession builds a worker's private session around a detached clone:
+// shared read-only analysis state, private clients and caches.
+func (s *session) shardSession(fs pfs.FileSystem) *session {
+	return &session{
+		fs: fs, lib: s.lib, opts: s.opts,
+		g: s.g, emu: s.emu, pfsOps: s.pfsOps, libOps: s.libOps,
+		initial:        s.initial,
+		clients:        map[string]pfs.Client{},
+		pfsReplayCache: map[string]string{},
+		legalPFSCache:  map[string]map[string]bool{},
+		libReplayCache: map[string]string{},
+		legalLibCache:  map[string]map[string]bool{},
+		checkCache:     map[string]checkResult{},
+		goldenPFS:      s.goldenPFS,
+		goldenLib:      s.goldenLib,
+	}
+}
+
+// runParallel shards the states across workers and merges their verdicts
+// deterministically. skip/handle are the serial per-state closures; bugs is
+// shared with the workers for speculative pruning.
+func (s *session) runParallel(states []CrashState, cloner pfs.Cloner, workers int, skip func(CrashState) bool, handle func(CrashState), bugs *BugSet) {
+	board := newResultBoard(len(states))
+	shards := shardStates(len(states), workers)
+
+	var wg sync.WaitGroup
+	for _, ids := range shards {
+		// Clones are built sequentially here (backend constructors are not
+		// concurrency-safe against each other's recorder plumbing).
+		ws := s.shardSession(cloner.CloneDetached())
+		ws.fs.Recorder().SetEnabled(false)
+		wg.Add(1)
+		go func(ws *session, ids []int) {
+			defer wg.Done()
+			if ws.opts.Mode == ModeOptimized {
+				ws.exploreShardOptimized(states, ids, bugs, board)
+			} else {
+				ws.exploreShard(states, ids, bugs, board)
+			}
+		}(ws, ids)
+	}
+
+	// Merge on this goroutine, in the exact serial visiting order. Checks
+	// for generated states (and for classifier probes that coincide with
+	// generated states) resolve through the board.
+	byKey := make(map[string]int, len(states))
+	for i, cs := range states {
+		byKey[stateKey(cs)] = i
+	}
+	s.outcomeFor = func(key string) (checkResult, bool) {
+		id, ok := byKey[key]
+		if !ok {
+			return checkResult{}, false
+		}
+		return board.await(id)
+	}
+	if s.opts.Mode == ModeOptimized {
+		s.mergeOptimized(states, board, skip, handle)
+	} else {
+		for _, cs := range states {
+			if !skip(cs) {
+				handle(cs)
+			}
+		}
+	}
+	s.outcomeFor = nil
+	wg.Wait()
+}
+
+// exploreShard judges the worker's states in index order (the brute/pruning
+// visiting order), publishing every verdict to the board.
+func (ws *session) exploreShard(states []CrashState, ids []int, bugs *BugSet, board *resultBoard) {
+	for _, id := range ids {
+		cs := states[id]
+		if ws.opts.Mode != ModeBrute && bugs.KnownBad(cs) {
+			board.skip(id)
+			continue
+		}
+		board.publish(id, ws.check(cs))
+	}
+}
+
+// exploreShardOptimized judges the worker's states along a shard-local TSP
+// tour with incremental per-server reconstruction (the serial optimized
+// engine, confined to the shard).
+func (ws *session) exploreShardOptimized(states []CrashState, ids []int, bugs *BugSet, board *resultBoard) {
+	if len(ids) == 0 {
+		return
+	}
+	shard := make([]CrashState, len(ids))
+	for k, id := range ids {
+		shard[k] = states[id]
+	}
+	procs, serverOps := ws.emu.serverProcs()
+	sigs := stateSigs(shard, procs, serverOps)
+	order := exploreOrder(len(shard), len(procs), sigs, ws.opts.DisableTSP)
+
+	// Prime the fresh clone with the full initial snapshot: procs only
+	// lists servers with universe ops, so servers the traced run never
+	// touched would otherwise keep their empty mkfs state instead of the
+	// initial content every crash state shares. (The serial walk needs no
+	// such step — its live cluster already holds every server's content.)
+	ws.fs.Restore(ws.initial)
+
+	cur := make([]string, len(procs))
+	for i := range cur {
+		cur[i] = "\x00unset"
+	}
+	for _, k := range order {
+		cs := shard[k]
+		if bugs.KnownBad(cs) {
+			board.skip(ids[k])
+			continue
+		}
+		for pi, p := range procs {
+			if cur[pi] == sigs[k][pi] {
+				continue
+			}
+			ws.fs.RestoreServer(ws.initial, p)
+			for _, n := range serverOps[p] {
+				if cs.Keep.Get(n) {
+					_ = ws.fs.ApplyLowermost(ws.g.Ops[n])
+				}
+			}
+			cur[pi] = sigs[k][pi]
+		}
+		// Judge on a scratch copy so recovery does not disturb the
+		// incrementally maintained applied state.
+		applied := ws.fs.Snapshot()
+		board.publish(ids[k], ws.verdict(cs))
+		ws.fs.Restore(applied)
+	}
+}
+
+// mergeOptimized replays the serial optimized walk — same global TSP order,
+// same pruning, same cache discipline — but reconstructs nothing: the
+// incremental restore/replay work is charged arithmetically and verdicts
+// come from the board (with a local fallback when a worker skipped the
+// state speculatively).
+func (s *session) mergeOptimized(states []CrashState, board *resultBoard, skip func(CrashState) bool, handle func(CrashState)) {
+	procs, serverOps := s.emu.serverProcs()
+	sigs := stateSigs(states, procs, serverOps)
+	order := exploreOrder(len(states), len(procs), sigs, s.opts.DisableTSP)
+
+	cur := make([]string, len(procs))
+	for i := range cur {
+		cur[i] = "\x00unset"
+	}
+	for _, idx := range order {
+		cs := states[idx]
+		if skip(cs) {
+			continue
+		}
+		for pi, p := range procs {
+			if cur[pi] == sigs[idx][pi] {
+				continue
+			}
+			s.stats.ServerRestores++
+			for _, n := range serverOps[p] {
+				if cs.Keep.Get(n) {
+					s.stats.OpsReplayed++
+				}
+			}
+			cur[pi] = sigs[idx][pi]
+		}
+		key := stateKey(cs)
+		if _, ok := s.checkCache[key]; !ok {
+			res, ok := board.await(idx)
+			if !ok {
+				res = s.computeScratch(cs)
+			}
+			s.checkCache[key] = res
+			s.chargeLegal(res)
+		}
+		handle(cs)
+	}
+}
+
+// computeScratch reconstructs and judges a state on the primary cluster
+// without charging restore/replay stats (the optimized merge accounts those
+// through its incremental simulation).
+func (s *session) computeScratch(cs CrashState) checkResult {
+	restores, replayed := s.stats.ServerRestores, s.stats.OpsReplayed
+	s.reconstruct(cs)
+	res := s.verdict(cs)
+	s.stats.ServerRestores, s.stats.OpsReplayed = restores, replayed
+	return res
+}

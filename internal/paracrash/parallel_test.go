@@ -1,0 +1,78 @@
+package paracrash_test
+
+import (
+	"regexp"
+	"testing"
+
+	"paracrash/internal/exps"
+	"paracrash/internal/paracrash"
+	"paracrash/internal/workloads"
+)
+
+// durRE matches the wall-clock field of Report.Format, the only part of a
+// report that legitimately differs between runs.
+var durRE = regexp.MustCompile(`\| [0-9.]+s`)
+
+// runFingerprinted runs one (program, file system) cell and returns both the
+// structural fingerprint and the rendered report with timings masked.
+func runFingerprinted(t *testing.T, fsName, progName string, mode paracrash.Mode, workers int) (string, string) {
+	t.Helper()
+	prog, err := exps.ProgramByName(progName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := paracrash.DefaultOptions()
+	opts.Mode = mode
+	opts.Workers = workers
+	rep, err := exps.RunOne(fsName, prog, opts, workloads.DefaultH5Params(), exps.ConfigFor(fsName))
+	if err != nil {
+		t.Fatalf("RunOne(%s on %s, workers=%d): %v", progName, fsName, workers, err)
+	}
+	return exps.ReportFingerprint(rep), durRE.ReplaceAllString(rep.Format(), "| <dur>")
+}
+
+// TestParallelMatchesSerial is the parallel engine's contract: for every
+// backend and a representative workload mix, a 4-worker exploration must
+// produce a report identical to the serial engine's — same crash states, same
+// bugs with the same dedup keys, same statistics, same rendered text modulo
+// wall-clock time.
+func TestParallelMatchesSerial(t *testing.T) {
+	type cell struct {
+		prog string
+		mode paracrash.Mode
+	}
+	cells := []cell{
+		{"ARVR", paracrash.ModeBrute},
+		{"ARVR", paracrash.ModePruning},
+		{"ARVR", paracrash.ModeOptimized},
+		{"WAL", paracrash.ModePruning},
+		{"H5-create", paracrash.ModePruning},
+	}
+	for _, fsName := range exps.FSNames() {
+		for _, c := range cells {
+			name := fsName + "/" + c.prog + "/" + c.mode.String()
+			t.Run(name, func(t *testing.T) {
+				serialFP, serialTxt := runFingerprinted(t, fsName, c.prog, c.mode, 1)
+				parFP, parTxt := runFingerprinted(t, fsName, c.prog, c.mode, 4)
+				if serialFP != parFP {
+					t.Errorf("fingerprint mismatch:\n--- serial ---\n%s--- workers=4 ---\n%s", serialFP, parFP)
+				}
+				if serialTxt != parTxt {
+					t.Errorf("Format mismatch:\n--- serial ---\n%s--- workers=4 ---\n%s", serialTxt, parTxt)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelWorkerCounts varies the worker count on one cell: any N must
+// reproduce the serial report, including N far above the state count.
+func TestParallelWorkerCounts(t *testing.T) {
+	serialFP, _ := runFingerprinted(t, "beegfs", "ARVR", paracrash.ModeBrute, 1)
+	for _, w := range []int{2, 3, 8, 64} {
+		fp, _ := runFingerprinted(t, "beegfs", "ARVR", paracrash.ModeBrute, w)
+		if fp != serialFP {
+			t.Errorf("workers=%d: fingerprint differs from serial", w)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package paracrash
+
+import (
+	"fmt"
+	"testing"
+
+	"paracrash/internal/pfs"
+	"paracrash/internal/pfs/beegfs"
+	"paracrash/internal/trace"
+)
+
+// TestShardStatesPartition checks the sharding invariants the merge relies
+// on: every crash-state index appears in exactly one shard, and shard sizes
+// differ by at most one.
+func TestShardStatesPartition(t *testing.T) {
+	for n := 0; n <= 17; n++ {
+		for w := 1; w <= 6; w++ {
+			shards := shardStates(n, w)
+			seen := make(map[int]bool)
+			minSz, maxSz := n+1, 0
+			for _, ids := range shards {
+				if len(ids) == 0 && n > 0 {
+					t.Errorf("n=%d w=%d: empty shard", n, w)
+				}
+				if len(ids) < minSz {
+					minSz = len(ids)
+				}
+				if len(ids) > maxSz {
+					maxSz = len(ids)
+				}
+				for _, id := range ids {
+					if seen[id] {
+						t.Fatalf("n=%d w=%d: index %d in two shards", n, w, id)
+					}
+					seen[id] = true
+				}
+			}
+			if len(seen) != n {
+				t.Errorf("n=%d w=%d: union has %d indices, want %d", n, w, len(seen), n)
+			}
+			for id := 0; id < n; id++ {
+				if !seen[id] {
+					t.Errorf("n=%d w=%d: index %d missing", n, w, id)
+				}
+			}
+			if n > 0 && maxSz-minSz > 1 {
+				t.Errorf("n=%d w=%d: shard sizes unbalanced (%d..%d)", n, w, minSz, maxSz)
+			}
+		}
+	}
+}
+
+// renameWorkload is a minimal in-package workload (the workloads package
+// imports paracrash, so it cannot be used here): the classic
+// write-then-rename pattern that trips BeeGFS reordering.
+type renameWorkload struct{}
+
+func (renameWorkload) Name() string { return "unit-rename" }
+
+func (renameWorkload) Preamble(fs pfs.FileSystem) error {
+	return fs.Client(0).Mkdir("/d")
+}
+
+func (renameWorkload) Run(fs pfs.FileSystem) error {
+	c := fs.Client(0)
+	if err := c.Create("/d/tmp"); err != nil {
+		return err
+	}
+	if err := c.Append("/d/tmp", []byte("payload-0123456789")); err != nil {
+		return err
+	}
+	if err := c.Close("/d/tmp"); err != nil {
+		return err
+	}
+	return c.Rename("/d/tmp", "/d/final")
+}
+
+// TestCloneDetachedIsIndependent checks the Cloner contract the workers
+// depend on: mutating a clone's stores never leaks into the original.
+func TestCloneDetachedIsIndependent(t *testing.T) {
+	var fs pfs.FileSystem = beegfs.New(pfs.DefaultConfig(), trace.NewRecorder())
+	if err := (renameWorkload{}).Preamble(fs); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Snapshot()
+
+	clone := fs.(pfs.Cloner).CloneDetached()
+	if clone.Recorder() == fs.Recorder() {
+		t.Fatal("clone shares the original's recorder")
+	}
+	clone.Restore(before)
+	c := clone.Client(0)
+	if err := c.Create("/d/extra"); err != nil {
+		t.Fatalf("clone create: %v", err)
+	}
+	if err := c.Close("/d/extra"); err != nil {
+		t.Fatal(err)
+	}
+
+	tree, err := fs.Mount()
+	if err != nil {
+		t.Fatalf("original mount after clone mutation: %v", err)
+	}
+	if _, ok := tree.Entries["/d/extra"]; ok {
+		t.Error("clone mutation leaked into the original deployment")
+	}
+	ctree, err := clone.Mount()
+	if err != nil {
+		t.Fatalf("clone mount: %v", err)
+	}
+	if _, ok := ctree.Entries["/d/extra"]; !ok {
+		t.Error("clone lost its own mutation")
+	}
+}
+
+// TestRunParallelMatchesSerialWhiteBox drives Run directly (no exps helper)
+// on a local workload and asserts the parallel engine visits the same state
+// space: identical generated/checked counts, bugs, and per-state records.
+func TestRunParallelMatchesSerialWhiteBox(t *testing.T) {
+	for _, mode := range []Mode{ModeBrute, ModePruning, ModeOptimized} {
+		run := func(workers int) *Report {
+			opts := DefaultOptions()
+			opts.Mode = mode
+			opts.Workers = workers
+			fs := beegfs.New(pfs.DefaultConfig(), trace.NewRecorder())
+			rep, err := Run(fs, nil, renameWorkload{}, opts)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", mode, workers, err)
+			}
+			return rep
+		}
+		serial, par := run(1), run(4)
+		stats1, statsN := serial.Stats, par.Stats
+		stats1.Duration, statsN.Duration = 0, 0
+		if stats1 != statsN {
+			t.Errorf("%v: stats differ\nserial:   %+v\nworkers4: %+v", mode, stats1, statsN)
+		}
+		if len(serial.Bugs) != len(par.Bugs) {
+			t.Fatalf("%v: %d bugs serial vs %d parallel", mode, len(serial.Bugs), len(par.Bugs))
+		}
+		for i := range serial.Bugs {
+			if *serial.Bugs[i] != *par.Bugs[i] {
+				t.Errorf("%v: bug %d differs:\n%+v\n%+v", mode, i, *serial.Bugs[i], *par.Bugs[i])
+			}
+		}
+		if len(serial.States) != len(par.States) {
+			t.Fatalf("%v: %d state records serial vs %d parallel", mode, len(serial.States), len(par.States))
+		}
+		for i := range serial.States {
+			a, b := serial.States[i], par.States[i]
+			if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+				t.Errorf("%v: state %d differs:\n%+v\n%+v", mode, i, a, b)
+			}
+		}
+	}
+}
