@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race ci bench experiments examples fuzz clean
+.PHONY: all build vet fmtcheck test race ci bench gobench experiments examples fuzz clean
 
 all: build vet test
 
@@ -13,6 +13,13 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fail when any file is not gofmt-clean.
+fmtcheck:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
@@ -20,9 +27,15 @@ race:
 	$(GO) test -race ./...
 
 # Everything a change must pass before it lands.
-ci: build vet test race
+ci: build vet fmtcheck test race
 
+# Run the benchmark trajectory with observability enabled and write the
+# per-run summary (phase timings, counters, Stats) as BENCH_<stamp>.json.
 bench:
+	$(GO) run ./cmd/experiments -exp bench -bench-out BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json
+
+# Go micro/macro benchmarks (paper tables and figures as testing.B).
+gobench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table and figure of the paper's evaluation.

@@ -12,6 +12,7 @@
 //	experiments -exp sensitivity # the Table 3 sensitivity studies
 //	experiments -exp speedups   # §6.4 headline numbers on ARVR/BeeGFS
 //	experiments -exp parallel   # worker-pool engine vs serial wall clock
+//	experiments -exp bench      # benchmark trajectory -> BENCH_*.json
 //	experiments -exp all
 package main
 
@@ -27,8 +28,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5, fig8, fig9, fig10, fig11, table3, sensitivity, speedups, parallel, all")
+	exp := flag.String("exp", "all", "experiment: fig5, fig8, fig9, fig10, fig11, table3, sensitivity, speedups, parallel, bench, all")
 	servers := flag.String("servers", "4,6,8,16,32", "server counts for fig11")
+	benchOut := flag.String("bench-out", "", "bench: write the BENCH_*.json summary to this file (default stdout)")
 	flag.Parse()
 
 	h5p := workloads.DefaultH5Params()
@@ -84,6 +86,22 @@ func main() {
 			fmt.Printf("  serial   (workers=1):  %.4fs\n", res.SerialSeconds)
 			fmt.Printf("  parallel (workers=%d): %.4fs  (%.1fx speedup)\n", res.Workers, res.ParallelSeconds, res.Speedup)
 			fmt.Printf("  states checked: %d, bugs: %d, reports identical: %v\n", res.States, res.Bugs, res.Identical)
+		case "bench":
+			sum := exps.Bench(h5p)
+			out, err := sum.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			if *benchOut == "" {
+				fmt.Println(string(out))
+				break
+			}
+			if err := os.WriteFile(*benchOut, out, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("benchmark summary written to %s (%d records)\n", *benchOut, len(sum.Records))
 		default:
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -91,7 +109,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig5", "fig8", "fig9", "fig10", "fig11", "table3", "sensitivity", "speedups", "parallel"} {
+		for _, name := range []string{"fig5", "fig8", "fig9", "fig10", "fig11", "table3", "sensitivity", "speedups", "parallel", "bench"} {
 			fmt.Printf("################ %s ################\n", name)
 			run(name)
 		}

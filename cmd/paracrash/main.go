@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"paracrash/internal/exps"
+	"paracrash/internal/obs"
 	core "paracrash/internal/paracrash"
 	"paracrash/internal/workloads"
 )
@@ -42,8 +44,20 @@ func main() {
 		list     = flag.Bool("list", false, "list programs and file systems, then exit")
 		dumpPath = flag.String("dump-trace", "", "write the traced execution as JSON to this file instead of testing")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+
+		metricsPath = flag.String("metrics", "", "write the run's observability summary (phase timings, counters, gauges) as JSON to this file")
+		progress    = flag.Bool("progress", false, "print a one-line progress ticker to stderr every second")
+		progJSONL   = flag.String("progress-jsonl", "", "write machine-readable progress events (one JSON object per line) to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof, expvar and /debug/obs on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *workers < 0 {
+		fatalIf(fmt.Errorf("-workers must be >= 0 (0 = one per CPU, 1 = serial), got %d", *workers))
+	}
+	if *k < 1 {
+		fatalIf(fmt.Errorf("-k must be >= 1 (victims per crash front), got %d", *k))
+	}
 
 	if *list {
 		fmt.Println("file systems:", strings.Join(exps.FSNames(), ", "))
@@ -77,6 +91,32 @@ func main() {
 	opts.LibModel, err = core.ParseModel(*libModel)
 	fatalIf(err)
 
+	// Observability: one run per invocation, attached only when requested
+	// (the nil default keeps the engine's hot paths free of metric work).
+	var run *obs.Run
+	if *metricsPath != "" || *progress || *progJSONL != "" || *pprofAddr != "" {
+		run = obs.NewRun()
+		opts.Obs = run
+	}
+	if *progress {
+		run.AddSink(&obs.HumanSink{W: os.Stderr})
+	}
+	if *progJSONL != "" {
+		f, err := os.Create(*progJSONL)
+		fatalIf(err)
+		defer f.Close()
+		run.AddSink(obs.NewJSONLSink(f))
+	}
+	if *progress || *progJSONL != "" {
+		run.StartProgress(time.Second)
+	}
+	if *pprofAddr != "" {
+		addr, shutdown, err := obs.Serve(*pprofAddr, run)
+		fatalIf(err)
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "paracrash: diagnostics at http://%s/debug/pprof/ (also /debug/vars, /debug/obs)\n", addr)
+	}
+
 	conf := exps.ConfigFor(*fsName)
 	if *servers > 0 {
 		if conf.MetaServers > 0 {
@@ -104,7 +144,13 @@ func main() {
 	}
 
 	rep, err := exps.RunOne(*fsName, prog, opts, h5p, conf)
+	run.Close() // flush the final progress event before reporting
 	fatalIf(err)
+	if *metricsPath != "" {
+		out, err := run.SummaryJSON()
+		fatalIf(err)
+		fatalIf(os.WriteFile(*metricsPath, out, 0o644))
+	}
 
 	if *jsonOut {
 		out, err := json.MarshalIndent(rep, "", "  ")

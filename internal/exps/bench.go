@@ -1,0 +1,89 @@
+package exps
+
+import (
+	"encoding/json"
+	"time"
+
+	"paracrash/internal/obs"
+	"paracrash/internal/paracrash"
+	"paracrash/internal/workloads"
+)
+
+// BenchRecord is one row of the BENCH_*.json trajectory: a (program, fs,
+// mode) run with its end-of-run Stats and the observability summary (phase
+// timings, counters, gauges). Successive PRs append files with the same
+// shape, so effort regressions show up as counter/timer diffs.
+type BenchRecord struct {
+	Program string          `json:"program"`
+	FS      string          `json:"fs"`
+	Mode    string          `json:"mode"`
+	Workers int             `json:"workers"`
+	Seconds float64         `json:"seconds"`
+	Bugs    int             `json:"bugs"`
+	Stats   paracrash.Stats `json:"stats"`
+	Obs     *obs.Summary    `json:"obs"`
+	Err     string          `json:"error,omitempty"`
+}
+
+// BenchSummary is the whole BENCH_*.json document.
+type BenchSummary struct {
+	GeneratedAt time.Time     `json:"generated_at"`
+	Records     []BenchRecord `json:"records"`
+}
+
+// benchCells is the fixed benchmark trajectory: the §6.4 strategy contrast
+// on ARVR/BeeGFS plus one representative cell per remaining file system.
+var benchCells = []struct {
+	fs, prog string
+	mode     paracrash.Mode
+	workers  int
+}{
+	{"beegfs", "ARVR", paracrash.ModeBrute, 1},
+	{"beegfs", "ARVR", paracrash.ModeBrute, 0}, // parallel, one worker per CPU
+	{"beegfs", "ARVR", paracrash.ModePruning, 1},
+	{"beegfs", "ARVR", paracrash.ModeOptimized, 1},
+	{"orangefs", "CR", paracrash.ModePruning, 1},
+	{"glusterfs", "WAL", paracrash.ModePruning, 1},
+	{"gpfs", "H5-create", paracrash.ModePruning, 1},
+	{"lustre", "H5-resize", paracrash.ModePruning, 1},
+	{"ext4", "CR", paracrash.ModePruning, 1},
+}
+
+// Bench runs the benchmark trajectory with observability enabled and
+// returns the summary document. Each cell gets its own obs run, so the
+// per-cell phase timings and counters are independent.
+func Bench(h5p workloads.H5Params) *BenchSummary {
+	sum := &BenchSummary{GeneratedAt: time.Now().UTC()}
+	for _, cell := range benchCells {
+		prog, err := ProgramByName(cell.prog)
+		if err != nil {
+			sum.Records = append(sum.Records, BenchRecord{Program: cell.prog, FS: cell.fs, Err: err.Error()})
+			continue
+		}
+		run := obs.NewRun()
+		opts := paracrash.DefaultOptions()
+		opts.Mode = cell.mode
+		opts.Workers = cell.workers
+		opts.Obs = run
+		rec := BenchRecord{
+			Program: cell.prog, FS: cell.fs,
+			Mode: cell.mode.String(), Workers: cell.workers,
+		}
+		rep, err := RunOne(cell.fs, prog, opts, h5p, ConfigFor(cell.fs))
+		if err != nil {
+			rec.Err = err.Error()
+		} else {
+			rec.Seconds = rep.Stats.Duration.Seconds()
+			rec.Bugs = len(rep.Bugs)
+			rec.Stats = rep.Stats
+		}
+		rec.Obs = run.Summary()
+		sum.Records = append(sum.Records, rec)
+	}
+	return sum
+}
+
+// JSON renders the summary indented for the BENCH_*.json file.
+func (s *BenchSummary) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarOnce guards the process-wide expvar registration (expvar.Publish
+// panics on duplicate names, and tests may start several endpoints).
+var expvarOnce sync.Once
+
+// Serve starts the opt-in diagnostics endpoint on addr:
+//
+//	/debug/pprof/*  net/http/pprof profiles (CPU, heap, goroutine, ...)
+//	/debug/vars     expvar, including the run's live summary under "paracrash"
+//	/debug/obs      the run's Summary as JSON
+//
+// It returns the bound address (useful with ":0") and a shutdown function.
+// The run may be nil; the profiling endpoints still work.
+func Serve(addr string, r *Run) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("paracrash", expvar.Func(func() any { return r.Summary() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		out, err := r.SummaryJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(out)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

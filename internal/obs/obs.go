@@ -1,0 +1,331 @@
+// Package obs is the run-level observability layer of ParaCrash: phase
+// timers, atomic counters and gauges, a progress-event stream with
+// pluggable sinks, and an opt-in pprof/expvar HTTP endpoint.
+//
+// The package is built around one invariant: observability is passive. A
+// Run only ever records what the exploration engine did; it never feeds
+// back into visiting order, pruning, caching, or any other decision, so
+// the byte-identical-report determinism contract of the parallel engine
+// holds with metrics on or off.
+//
+// The second invariant is that the disabled path is free. A nil *Run is a
+// valid no-op collector: every method on a nil *Run — and on the nil
+// *Counter / *Gauge handles it hands out — is safe, does nothing, and
+// allocates nothing, so instrumented hot paths (per-crash-state counter
+// bumps, per-restore timers) need no conditionals and cost ~1ns when
+// metrics are off. obs_test.go pins this with testing.AllocsPerRun.
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase names used by the exploration engine (paper §6's effort breakdown:
+// where a run's wall time goes).
+const (
+	// PhaseTrace covers preamble execution, library seeding and the traced
+	// test-program run.
+	PhaseTrace = "trace"
+	// PhaseGraph covers causality analysis, layer-op extraction and the
+	// golden-state replays.
+	PhaseGraph = "graph-build"
+	// PhaseGenerate covers crash-state enumeration (Algorithm 1) when it
+	// runs as a separate collection pass (optimized/parallel engines). The
+	// streaming brute/pruning engine interleaves generation with checking
+	// and charges both to PhaseExplore.
+	PhaseGenerate = "generate"
+	// PhaseExplore covers crash-state reconstruction and checking.
+	PhaseExplore = "explore"
+	// PhaseMerge covers the deterministic serial-order merge of worker
+	// verdicts (parallel runs only; nested inside PhaseExplore).
+	PhaseMerge = "merge"
+)
+
+// nopStop is the stop function handed out by nil runs; returning a shared
+// value keeps the disabled timer path allocation-free.
+var nopStop = func() {}
+
+// Counter is a monotonically increasing atomic counter. Handles are
+// obtained from Run.Counter and are safe for concurrent use; a nil
+// *Counter is a no-op.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is an instantaneous atomic value (queue depths, high-water marks).
+// A nil *Gauge is a no-op.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta (negative to decrement).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Max raises the gauge to v if v is larger (high-water-mark semantics).
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// timer accumulates the total duration and invocation count of a named
+// span across concurrent stop/start pairs.
+type timer struct {
+	ns atomic.Int64
+	n  atomic.Int64
+}
+
+// Run collects the metrics of one ParaCrash invocation (or one experiment
+// batch — concurrent cells may share a Run; spans accumulate).
+type Run struct {
+	start time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*timer
+	// registration order, for stable summaries and progress lines
+	counterOrder []string
+	gaugeOrder   []string
+	timerOrder   []string
+
+	curPhase atomic.Value // string
+
+	progress *progressLoop
+	sinkMu   sync.Mutex
+	sinks    []Sink
+}
+
+// NewRun returns an active metrics collector anchored at the current time.
+func NewRun() *Run {
+	r := &Run{
+		start:    time.Now(),
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*timer{},
+	}
+	r.curPhase.Store("")
+	return r
+}
+
+// Counter returns (registering on first use) the named counter. Returns a
+// nil no-op handle when r is nil.
+func (r *Run) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+		r.counterOrder = append(r.counterOrder, name)
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge. Returns a nil
+// no-op handle when r is nil.
+func (r *Run) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+		r.gaugeOrder = append(r.gaugeOrder, name)
+	}
+	return g
+}
+
+// StartTimer opens a monotonic span under name and returns its stop
+// function. Spans may overlap freely (concurrent workers, recursive
+// phases); the timer accumulates total duration and count. An unstopped
+// span (error return mid-phase) contributes nothing.
+func (r *Run) StartTimer(name string) func() {
+	if r == nil {
+		return nopStop
+	}
+	t := r.timer(name)
+	begin := time.Now()
+	return func() {
+		t.ns.Add(int64(time.Since(begin)))
+		t.n.Add(1)
+	}
+}
+
+func (r *Run) timer(name string) *timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &timer{}
+		r.timers[name] = t
+		r.timerOrder = append(r.timerOrder, name)
+	}
+	return t
+}
+
+// Phase opens a span for a top-level pipeline phase and marks it as the
+// run's current phase (shown by progress events). Returns the stop
+// function, like StartTimer.
+func (r *Run) Phase(name string) func() {
+	if r == nil {
+		return nopStop
+	}
+	r.curPhase.Store(name)
+	return r.StartTimer("phase/" + name)
+}
+
+// CurrentPhase returns the most recently started phase ("" before the
+// first or on a nil run).
+func (r *Run) CurrentPhase() string {
+	if r == nil {
+		return ""
+	}
+	s, _ := r.curPhase.Load().(string)
+	return s
+}
+
+// Elapsed returns the wall time since the run started.
+func (r *Run) Elapsed() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+// TimerStat is one named span's accumulated totals.
+type TimerStat struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Count   int64   `json:"count"`
+}
+
+// Summary is the end-of-run metrics snapshot: the schema behind the
+// -metrics JSON file and the BENCH_*.json trajectory.
+type Summary struct {
+	StartedAt   time.Time        `json:"started_at"`
+	WallSeconds float64          `json:"wall_seconds"`
+	Timers      []TimerStat      `json:"timers"`
+	Counters    map[string]int64 `json:"counters"`
+	Gauges      map[string]int64 `json:"gauges"`
+}
+
+// Summary snapshots the run. Safe to call concurrently with updates and
+// more than once; a nil run yields an empty summary.
+func (r *Run) Summary() *Summary {
+	s := &Summary{Counters: map[string]int64{}, Gauges: map[string]int64{}}
+	if r == nil {
+		return s
+	}
+	s.StartedAt = r.start
+	s.WallSeconds = time.Since(r.start).Seconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.timerOrder {
+		t := r.timers[name]
+		s.Timers = append(s.Timers, TimerStat{
+			Name:    name,
+			Seconds: time.Duration(t.ns.Load()).Seconds(),
+			Count:   t.n.Load(),
+		})
+	}
+	for _, name := range r.counterOrder {
+		s.Counters[name] = r.counters[name].v.Load()
+	}
+	for _, name := range r.gaugeOrder {
+		s.Gauges[name] = r.gauges[name].v.Load()
+	}
+	return s
+}
+
+// SummaryJSON renders the summary as indented JSON, ready for -metrics
+// files.
+func (r *Run) SummaryJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Summary(), "", "  ")
+}
+
+// snapshotCounters returns name->value for all registered counters in
+// registration order (names slice aliases internal state; copy under lock).
+func (r *Run) snapshotCounters() ([]string, map[string]int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.counterOrder...)
+	vals := make(map[string]int64, len(names))
+	for _, n := range names {
+		vals[n] = r.counters[n].v.Load()
+	}
+	return names, vals
+}
+
+func (r *Run) snapshotGauges() ([]string, map[string]int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.gaugeOrder...)
+	vals := make(map[string]int64, len(names))
+	for _, n := range names {
+		vals[n] = r.gauges[n].v.Load()
+	}
+	return names, vals
+}

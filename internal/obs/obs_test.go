@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersGaugesTimers(t *testing.T) {
+	r := NewRun()
+	c := r.Counter("states/checked")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if r.Counter("states/checked") != c {
+		t.Fatal("Counter must return the same handle for the same name")
+	}
+
+	g := r.Gauge("legal/pfs")
+	g.Set(5)
+	g.Max(3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge after Max(3) = %d, want 5", got)
+	}
+	g.Max(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge after Max(9) = %d, want 9", got)
+	}
+	g.Add(-2)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge after Add(-2) = %d, want 7", got)
+	}
+
+	stop := r.StartTimer("pfs/restore")
+	time.Sleep(time.Millisecond)
+	stop()
+	stopPhase := r.Phase(PhaseExplore)
+	if got := r.CurrentPhase(); got != PhaseExplore {
+		t.Fatalf("CurrentPhase = %q, want %q", got, PhaseExplore)
+	}
+	stopPhase()
+
+	s := r.Summary()
+	if s.Counters["states/checked"] != 4 || s.Gauges["legal/pfs"] != 7 {
+		t.Fatalf("summary totals wrong: %+v", s)
+	}
+	var restore, phase *TimerStat
+	for i := range s.Timers {
+		switch s.Timers[i].Name {
+		case "pfs/restore":
+			restore = &s.Timers[i]
+		case "phase/" + PhaseExplore:
+			phase = &s.Timers[i]
+		}
+	}
+	if restore == nil || restore.Count != 1 || restore.Seconds <= 0 {
+		t.Fatalf("pfs/restore timer missing or empty: %+v", s.Timers)
+	}
+	if phase == nil || phase.Count != 1 {
+		t.Fatalf("explore phase timer missing: %+v", s.Timers)
+	}
+}
+
+// TestNilRunIsNoop pins the disabled-path contract: every operation on a
+// nil run and its nil handles is safe.
+func TestNilRunIsNoop(t *testing.T) {
+	var r *Run
+	c := r.Counter("x")
+	c.Add(1)
+	c.Inc()
+	if c.Value() != 0 || c.Name() != "" {
+		t.Fatal("nil counter must stay zero")
+	}
+	g := r.Gauge("y")
+	g.Set(9)
+	g.Max(9)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must stay zero")
+	}
+	r.StartTimer("t")()
+	r.Phase(PhaseTrace)()
+	if r.CurrentPhase() != "" || r.Elapsed() != 0 {
+		t.Fatal("nil run must report empty state")
+	}
+	r.AddSink(&HumanSink{W: io.Discard})
+	r.StartProgress(time.Millisecond)
+	r.Close()
+	s := r.Summary()
+	if len(s.Counters) != 0 || len(s.Timers) != 0 {
+		t.Fatalf("nil summary not empty: %+v", s)
+	}
+}
+
+// TestNoopHotPathAllocs asserts the disabled collector adds no allocations
+// on the per-crash-state hot path (counter bumps, gauge updates, timer
+// start/stop through pre-resolved nil handles).
+func TestNoopHotPathAllocs(t *testing.T) {
+	var r *Run
+	c := r.Counter("states/checked")
+	g := r.Gauge("legal/pfs")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Max(7)
+		r.StartTimer("pfs/restore")()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op hot path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestLiveCounterAllocs asserts that bumping a live, pre-resolved counter
+// is also allocation-free (the enabled hot path only pays atomics).
+func TestLiveCounterAllocs(t *testing.T) {
+	r := NewRun()
+	c := r.Counter("states/checked")
+	g := r.Gauge("legal/pfs")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Max(3)
+	})
+	if allocs != 0 {
+		t.Fatalf("live counter hot path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestConcurrentTimersAccumulate(t *testing.T) {
+	r := NewRun()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stop := r.StartTimer("pfs/recover")
+			time.Sleep(2 * time.Millisecond)
+			stop()
+		}()
+	}
+	wg.Wait()
+	s := r.Summary()
+	for _, ts := range s.Timers {
+		if ts.Name == "pfs/recover" {
+			if ts.Count != 8 {
+				t.Fatalf("count = %d, want 8", ts.Count)
+			}
+			if ts.Seconds < 0.008 {
+				t.Fatalf("accumulated %.4fs, want >= sum of spans", ts.Seconds)
+			}
+			return
+		}
+	}
+	t.Fatal("pfs/recover timer missing")
+}
+
+type captureSink struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+func (s *captureSink) Emit(ev Event) {
+	s.mu.Lock()
+	s.evs = append(s.evs, ev)
+	s.mu.Unlock()
+}
+
+func TestProgressEventsAndSinks(t *testing.T) {
+	r := NewRun()
+	cap := &captureSink{}
+	var human, jsonl bytes.Buffer
+	r.AddSink(cap)
+	r.AddSink(&HumanSink{W: &human})
+	r.AddSink(NewJSONLSink(&jsonl))
+
+	c := r.Counter("states/checked")
+	r.Gauge("worker/00/pending").Set(12)
+	r.Phase(PhaseExplore)
+	r.StartProgress(5 * time.Millisecond)
+	for i := 0; i < 50; i++ {
+		c.Add(10)
+		time.Sleep(time.Millisecond)
+	}
+	r.Close()
+
+	cap.mu.Lock()
+	defer cap.mu.Unlock()
+	if len(cap.evs) < 2 {
+		t.Fatalf("got %d events, want >= 2", len(cap.evs))
+	}
+	last := cap.evs[len(cap.evs)-1]
+	if !last.Final {
+		t.Fatal("last event must be final")
+	}
+	if last.Counters["states/checked"] != 500 {
+		t.Fatalf("final counter = %d, want 500", last.Counters["states/checked"])
+	}
+	if last.Phase != PhaseExplore {
+		t.Fatalf("phase = %q, want explore", last.Phase)
+	}
+	if last.Gauges["worker/00/pending"] != 12 {
+		t.Fatalf("gauge missing from event: %+v", last.Gauges)
+	}
+	// Second and later events carry rates.
+	if len(cap.evs) >= 2 && cap.evs[1].Rates == nil {
+		t.Fatal("second event must carry rates")
+	}
+	if !strings.Contains(human.String(), "states/checked=") {
+		t.Fatalf("human ticker line missing counter: %q", human.String())
+	}
+	// Every JSONL line must parse back to an Event.
+	dec := json.NewDecoder(&jsonl)
+	n := 0
+	for dec.More() {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("JSONL line %d: %v", n, err)
+		}
+		n++
+	}
+	if n != len(cap.evs) {
+		t.Fatalf("JSONL lines = %d, capture sink events = %d", n, len(cap.evs))
+	}
+}
+
+func TestServeEndpoint(t *testing.T) {
+	r := NewRun()
+	r.Counter("states/checked").Add(42)
+	addr, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	var sum Summary
+	if err := json.Unmarshal([]byte(get("/debug/obs")), &sum); err != nil {
+		t.Fatalf("/debug/obs not JSON: %v", err)
+	}
+	if sum.Counters["states/checked"] != 42 {
+		t.Fatalf("endpoint summary = %+v, want counter 42", sum)
+	}
+	if !strings.Contains(get("/debug/pprof/"), "pprof") {
+		t.Fatal("/debug/pprof/ index missing")
+	}
+	if !strings.Contains(get("/debug/vars"), "paracrash") {
+		t.Fatal("/debug/vars missing paracrash expvar")
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	r := NewRun()
+	r.Counter("ops/replayed").Add(7)
+	stop := r.Phase(PhaseGraph)
+	stop()
+	out, err := r.SummaryJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(out, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["ops/replayed"] != 7 {
+		t.Fatalf("round-trip lost counter: %+v", s)
+	}
+}

@@ -2,6 +2,7 @@ package paracrash
 
 import (
 	"paracrash/internal/causality"
+	"paracrash/internal/obs"
 	"paracrash/internal/trace"
 )
 
@@ -53,6 +54,9 @@ type Emulator struct {
 	G        *causality.Graph
 	Universe []int // replayable lowermost node indices, in recording order
 	PO       *causality.PersistOrder
+	// Obs, when set, receives generation counters (emulate/fronts,
+	// emulate/states). Nil disables collection at zero cost.
+	Obs *obs.Run
 }
 
 // NewEmulator prepares crash emulation over the trace graph. The universe
@@ -79,6 +83,8 @@ func (e *Emulator) Generate(cfg EmulatorConfig, visit func(CrashState) bool) int
 	seen := map[string]bool{}
 	count := 0
 	stopped := false
+	ctrFronts := e.Obs.Counter("emulate/fronts")
+	ctrStates := e.Obs.Counter("emulate/states")
 
 	emit := func(cs CrashState) bool {
 		// Skip physically impossible states: an op covered by a completed
@@ -92,6 +98,7 @@ func (e *Emulator) Generate(cfg EmulatorConfig, visit func(CrashState) bool) int
 		}
 		seen[key] = true
 		count++
+		ctrStates.Inc()
 		if !visit(cs) {
 			stopped = true
 			return false
@@ -104,6 +111,7 @@ func (e *Emulator) Generate(cfg EmulatorConfig, visit func(CrashState) bool) int
 	}
 
 	perFront := func(front causality.Bitset) bool {
+		ctrFronts.Inc()
 		// Victim candidates: lowermost ops inside the front.
 		var cands []int
 		for _, i := range e.Universe {

@@ -3,10 +3,12 @@ package paracrash
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"paracrash/internal/causality"
+	"paracrash/internal/obs"
 	"paracrash/internal/pfs"
 	"paracrash/internal/trace"
 )
@@ -114,6 +116,12 @@ type Options struct {
 	// DisableTSP makes the optimized mode visit crash states in recording
 	// order instead of the greedy travelling-salesman tour.
 	DisableTSP bool
+
+	// Obs, when non-nil, receives phase timings, counters, gauges and
+	// progress events for the run (see internal/obs). Observability is
+	// strictly passive: it never alters visiting order, pruning or caching,
+	// so the report stays byte-identical with metrics on or off.
+	Obs *obs.Run
 }
 
 // DefaultOptions mirrors the paper's evaluation settings: k=1 victims, all
@@ -254,6 +262,47 @@ type session struct {
 	outcomeFor func(key string) (checkResult, bool)
 
 	stats Stats
+
+	// Observability handles, pre-resolved so the per-state hot path pays
+	// one atomic add (or nothing at all when obs is off — nil handles are
+	// no-ops). The primary session's counters mirror the Stats fields
+	// exactly; shard workers bind the same code paths to worker/-prefixed
+	// counters so raw worker effort is visible without perturbing the
+	// Stats reconciliation.
+	obs           *obs.Run
+	ctrChecked    *obs.Counter
+	ctrPruned     *obs.Counter
+	ctrBad        *obs.Counter
+	ctrRestores   *obs.Counter
+	ctrReplayed   *obs.Counter
+	gaugeLegalPFS *obs.Gauge
+	gaugeLegalLib *obs.Gauge
+}
+
+// bindObs resolves the session's metric handles against r (nil for a no-op
+// collector). prefix distinguishes the primary session ("") — whose
+// counters reconcile 1:1 with Stats — from shard workers ("worker/").
+func (s *session) bindObs(r *obs.Run, prefix string) {
+	s.obs = r
+	s.ctrChecked = r.Counter(prefix + "states/checked")
+	s.ctrPruned = r.Counter(prefix + "states/pruned")
+	s.ctrBad = r.Counter(prefix + "states/inconsistent")
+	s.ctrRestores = r.Counter(prefix + "restores/servers")
+	s.ctrReplayed = r.Counter(prefix + "ops/replayed")
+	s.gaugeLegalPFS = r.Gauge(prefix + "legal/pfs")
+	s.gaugeLegalLib = r.Gauge(prefix + "legal/lib")
+}
+
+// chargeRestores charges n server restores to the stats and the counters.
+func (s *session) chargeRestores(n int) {
+	s.stats.ServerRestores += n
+	s.ctrRestores.Add(int64(n))
+}
+
+// chargeReplayed charges n replayed lowermost ops.
+func (s *session) chargeReplayed(n int) {
+	s.stats.OpsReplayed += n
+	s.ctrReplayed.Add(int64(n))
 }
 
 // Run executes the full ParaCrash pipeline for a workload against a file
@@ -261,8 +310,14 @@ type session struct {
 func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, error) {
 	start := time.Now()
 	rec := fs.Recorder()
+	if oa, ok := fs.(pfs.ObsAware); ok {
+		// Store-level timings (restore/recover/mount) report to the same
+		// run; a nil opts.Obs simply clears them to the no-op collector.
+		oa.SetObs(opts.Obs)
+	}
 
 	// Phase 0: preamble (untraced) and the initial snapshot.
+	stopTrace := opts.Obs.Phase(obs.PhaseTrace)
 	rec.SetEnabled(false)
 	if err := w.Preamble(fs); err != nil {
 		return nil, fmt.Errorf("paracrash: preamble: %w", err)
@@ -287,10 +342,13 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 	}
 	rec.SetEnabled(false)
 	ops := rec.Ops()
+	stopTrace()
 
 	// Phase 2: causality analysis.
+	stopGraph := opts.Obs.Phase(obs.PhaseGraph)
 	g := causality.Build(ops)
 	emu := NewEmulator(g, fs.PersistConfig())
+	emu.Obs = opts.Obs
 
 	s := &session{
 		fs: fs, lib: lib, opts: opts,
@@ -306,14 +364,27 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 	if lib != nil {
 		s.libOps = NewLayerOps(g, trace.LayerIOLib, lib.IsLibOp)
 	}
+	s.bindObs(opts.Obs, "")
 	s.stats.TraceOps = len(ops)
 	s.stats.LowermostOps = len(emu.Universe)
+	opts.Obs.Counter("trace/ops").Add(int64(len(ops)))
+	opts.Obs.Counter("trace/lowermost").Add(int64(len(emu.Universe)))
 
 	if n := s.pfsOps.Len(); n > opts.MaxLayerOps {
 		return nil, fmt.Errorf("paracrash: %d PFS-layer ops exceed MaxLayerOps=%d (preserved-set enumeration is exponential)", n, opts.MaxLayerOps)
 	}
 	if s.libOps != nil && s.libOps.Len() > opts.MaxLayerOps {
 		return nil, fmt.Errorf("paracrash: %d library-layer ops exceed MaxLayerOps=%d", s.libOps.Len(), opts.MaxLayerOps)
+	}
+
+	// Resolve every PFS-layer client proc up front: a malformed proc name
+	// (one that does not parse as "<name>/<rank>") fails the run loudly
+	// here instead of silently replaying through client 0 deep inside
+	// legal-state enumeration.
+	for _, op := range s.pfsOps.Ops {
+		if _, err := s.client(op.Proc); err != nil {
+			return nil, err
+		}
 	}
 
 	// Golden (strict) states for consequence reporting.
@@ -329,6 +400,7 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 		}
 		s.goldenLib, _ = s.replayLib(allLib)
 	}
+	stopGraph()
 
 	// Phase 3: crash emulation + checking.
 	emuCfg := opts.Emulator
@@ -352,6 +424,7 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 	skip := func(cs CrashState) bool {
 		if opts.Mode != ModeBrute && bugs.KnownBad(cs) {
 			s.stats.StatesPruned++
+			s.ctrPruned.Inc()
 			return true
 		}
 		return false
@@ -360,6 +433,7 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 	handle := func(cs CrashState) {
 		res := s.check(cs)
 		s.stats.StatesChecked++
+		s.ctrChecked.Inc()
 		if res.consistent {
 			return
 		}
@@ -369,6 +443,7 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 		if !seenStates[stateKey] {
 			seenStates[stateKey] = true
 			report.Inconsistent++
+			s.ctrBad.Inc()
 			if res.layer != "pfs" {
 				report.LibOnly++
 			}
@@ -397,11 +472,14 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 		// Collect states first: the optimized mode orders them with a
 		// greedy TSP over per-server distance, the parallel engine shards
 		// them across workers.
+		stopGen := opts.Obs.Phase(obs.PhaseGenerate)
 		var states []CrashState
 		s.stats.StatesGenerated = emu.Generate(emuCfg, func(cs CrashState) bool {
 			states = append(states, cs)
 			return true
 		})
+		stopGen()
+		stopExplore := opts.Obs.Phase(obs.PhaseExplore)
 		switch {
 		case parallel && len(states) > 1:
 			s.runParallel(states, cloner, workers, skip, handle, bugs)
@@ -414,14 +492,21 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 				}
 			}
 		}
+		stopExplore()
 	} else {
+		// Streaming engine: generation and checking interleave, so the
+		// combined pass is charged to the explore phase (the emulate/*
+		// counters still break out enumeration volume).
+		stopExplore := opts.Obs.Phase(obs.PhaseExplore)
 		s.stats.StatesGenerated = emu.Generate(emuCfg, func(cs CrashState) bool {
 			if !skip(cs) {
 				handle(cs)
 			}
 			return true
 		})
+		stopExplore()
 	}
+	opts.Obs.Counter("states/generated").Add(int64(s.stats.StatesGenerated))
 
 	// Restore the live cluster to the untouched post-run state.
 	fs.Restore(initial)
@@ -432,25 +517,44 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 	return report, nil
 }
 
-// client returns (and caches) the client endpoint for a client proc name.
-func (s *session) client(proc string) pfs.Client {
-	if c, ok := s.clients[proc]; ok {
-		return c
+// clientID parses the numeric rank out of a client proc name ("client/3").
+// Proc names come from the trace recorder; one that does not parse means
+// the trace is corrupt, and collapsing it onto rank 0 — as an ignored
+// Sscanf error used to — would silently replay another client's state.
+func clientID(proc string) (int, error) {
+	i := strings.IndexByte(proc, '/')
+	if i < 0 {
+		return 0, fmt.Errorf("paracrash: client proc %q: missing \"/<rank>\" suffix", proc)
 	}
-	id := 0
-	if i := strings.IndexByte(proc, '/'); i >= 0 {
-		fmt.Sscanf(proc[i+1:], "%d", &id)
+	id, err := strconv.Atoi(proc[i+1:])
+	if err != nil {
+		return 0, fmt.Errorf("paracrash: client proc %q: unparsable rank: %v", proc, err)
+	}
+	if id < 0 {
+		return 0, fmt.Errorf("paracrash: client proc %q: negative rank", proc)
+	}
+	return id, nil
+}
+
+// client returns (and caches) the client endpoint for a client proc name.
+func (s *session) client(proc string) (pfs.Client, error) {
+	if c, ok := s.clients[proc]; ok {
+		return c, nil
+	}
+	id, err := clientID(proc)
+	if err != nil {
+		return nil, err
 	}
 	c := s.fs.Client(id)
 	s.clients[proc] = c
-	return c
+	return c, nil
 }
 
 // reconstruct restores the initial snapshot and applies the kept lowermost
 // ops in recording order.
 func (s *session) reconstruct(cs CrashState) {
 	s.fs.Restore(s.initial)
-	s.stats.ServerRestores += len(s.fs.Procs())
+	s.chargeRestores(len(s.fs.Procs()))
 	for _, i := range s.emu.Universe {
 		if !cs.Keep.Get(i) {
 			continue
@@ -458,7 +562,7 @@ func (s *session) reconstruct(cs CrashState) {
 		// Application errors mean the op's effect is lost (its target was
 		// never persisted) — exactly the crash semantics we emulate.
 		_ = s.fs.ApplyLowermost(s.g.Ops[i])
-		s.stats.OpsReplayed++
+		s.chargeReplayed(1)
 	}
 }
 
@@ -478,8 +582,8 @@ func (s *session) check(cs CrashState) checkResult {
 		if r, ok := s.outcomeFor(key); ok {
 			// A shard worker already reconstructed and judged this state;
 			// charge exactly what reconstruct+verdict would have charged.
-			s.stats.ServerRestores += len(s.fs.Procs())
-			s.stats.OpsReplayed += s.keptUniverse(cs)
+			s.chargeRestores(len(s.fs.Procs()))
+			s.chargeReplayed(s.keptUniverse(cs))
 			s.chargeLegal(r)
 			s.checkCache[key] = r
 			return r
@@ -508,6 +612,8 @@ func (s *session) keptUniverse(cs CrashState) int {
 func (s *session) chargeLegal(r checkResult) {
 	s.stats.LegalPFSStates = max(s.stats.LegalPFSStates, r.pfsLegalN)
 	s.stats.LegalLibStates = max(s.stats.LegalLibStates, r.libLegalN)
+	s.gaugeLegalPFS.Max(int64(r.pfsLegalN))
+	s.gaugeLegalLib.Max(int64(r.libLegalN))
 }
 
 // verdict checks the current (already reconstructed) cluster state against
@@ -610,6 +716,7 @@ func (s *session) legalPFS(cs CrashState, status []Status) map[string]bool {
 	})
 	s.legalPFSCache[key] = set
 	s.stats.LegalPFSStates = max(s.stats.LegalPFSStates, len(set))
+	s.gaugeLegalPFS.Max(int64(len(set)))
 	return set
 }
 
@@ -628,6 +735,7 @@ func (s *session) legalLib(cs CrashState, status []Status) map[string]bool {
 	})
 	s.legalLibCache[key] = set
 	s.stats.LegalLibStates = max(s.stats.LegalLibStates, len(set))
+	s.gaugeLegalLib.Max(int64(len(set)))
 	return set
 }
 
@@ -651,9 +759,15 @@ func (s *session) replayPFS(sel []int) string {
 	s.fs.Restore(s.initial)
 	for _, pos := range sel {
 		op := s.pfsOps.Ops[pos]
+		c, err := s.client(op.Proc)
+		if err != nil {
+			// Every PFS-layer proc was validated when the session was
+			// built; reaching this means the trace mutated mid-run.
+			panic(err)
+		}
 		// Failed replays (missing prerequisites under weak models) lose
 		// the op, matching crash semantics.
-		_ = pfs.ReplayClientOp(s.client(op.Proc), op)
+		_ = pfs.ReplayClientOp(c, op)
 	}
 	st := "UNMOUNTABLE"
 	if tree, err := s.fs.Mount(); err == nil {
@@ -716,11 +830,11 @@ func (s *session) runOptimized(states []CrashState, skip func(CrashState) bool, 
 				continue
 			}
 			s.fs.RestoreServer(s.initial, p)
-			s.stats.ServerRestores++
+			s.chargeRestores(1)
 			for _, n := range serverOps[p] {
 				if cs.Keep.Get(n) {
 					_ = s.fs.ApplyLowermost(s.g.Ops[n])
-					s.stats.OpsReplayed++
+					s.chargeReplayed(1)
 				}
 			}
 			cur[pi] = sigs[idx][pi]

@@ -1,0 +1,97 @@
+package paracrash_test
+
+import (
+	"testing"
+
+	"paracrash/internal/exps"
+	"paracrash/internal/obs"
+	"paracrash/internal/paracrash"
+	"paracrash/internal/workloads"
+)
+
+// runWithObs runs ARVR on BeeGFS with an attached observability run.
+func runWithObs(t *testing.T, mode paracrash.Mode, workers int) (*paracrash.Report, *obs.Run) {
+	t.Helper()
+	prog, err := exps.ProgramByName("ARVR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := paracrash.DefaultOptions()
+	opts.Mode = mode
+	opts.Workers = workers
+	r := obs.NewRun()
+	opts.Obs = r
+	rep, err := exps.RunOne("beegfs", prog, opts, workloads.DefaultH5Params(), exps.ConfigFor("beegfs"))
+	if err != nil {
+		t.Fatalf("RunOne(mode=%s, workers=%d): %v", mode, workers, err)
+	}
+	return rep, r
+}
+
+// TestObsCountersReconcileWithStats is the tentpole's accounting contract:
+// the primary counters must equal the report's Stats exactly — for every
+// strategy, serial and parallel.
+func TestObsCountersReconcileWithStats(t *testing.T) {
+	for _, mode := range []paracrash.Mode{paracrash.ModeBrute, paracrash.ModePruning, paracrash.ModeOptimized} {
+		for _, workers := range []int{1, 8} {
+			t.Run(mode.String()+"/workers="+string(rune('0'+workers)), func(t *testing.T) {
+				rep, r := runWithObs(t, mode, workers)
+				s := r.Summary()
+				wantCounters := map[string]int64{
+					"states/generated":    int64(rep.Stats.StatesGenerated),
+					"states/checked":      int64(rep.Stats.StatesChecked),
+					"states/pruned":       int64(rep.Stats.StatesPruned),
+					"restores/servers":    int64(rep.Stats.ServerRestores),
+					"ops/replayed":        int64(rep.Stats.OpsReplayed),
+					"states/inconsistent": int64(rep.Inconsistent),
+					"trace/ops":           int64(rep.Stats.TraceOps),
+					"trace/lowermost":     int64(rep.Stats.LowermostOps),
+				}
+				for name, want := range wantCounters {
+					if got := s.Counters[name]; got != want {
+						t.Errorf("counter %s = %d, Stats say %d", name, got, want)
+					}
+				}
+				wantGauges := map[string]int64{
+					"legal/pfs": int64(rep.Stats.LegalPFSStates),
+					"legal/lib": int64(rep.Stats.LegalLibStates),
+				}
+				for name, want := range wantGauges {
+					if got := s.Gauges[name]; got != want {
+						t.Errorf("gauge %s = %d, Stats say %d", name, got, want)
+					}
+				}
+				// Every pipeline phase must have timed exactly one span.
+				phases := []string{obs.PhaseTrace, obs.PhaseGraph, obs.PhaseExplore}
+				if mode == paracrash.ModeOptimized || workers != 1 {
+					phases = append(phases, obs.PhaseGenerate)
+				}
+				if workers != 1 {
+					phases = append(phases, obs.PhaseMerge)
+				}
+				byName := map[string]obs.TimerStat{}
+				for _, ts := range s.Timers {
+					byName[ts.Name] = ts
+				}
+				for _, ph := range phases {
+					if ts, ok := byName["phase/"+ph]; !ok || ts.Count != 1 {
+						t.Errorf("phase %s: timer = %+v, want one span", ph, ts)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestObsPreservesDeterminism pins the acceptance criterion: with metrics
+// attached, a Workers=8 run must still produce a report byte-identical to a
+// Workers=1 run — and both identical to a run with obs disabled.
+func TestObsPreservesDeterminism(t *testing.T) {
+	baseFP, _ := runFingerprinted(t, "beegfs", "ARVR", paracrash.ModeBrute, 1) // obs off
+	for _, workers := range []int{1, 8} {
+		rep, _ := runWithObs(t, paracrash.ModeBrute, workers)
+		if fp := exps.ReportFingerprint(rep); fp != baseFP {
+			t.Errorf("workers=%d with obs: fingerprint differs from obs-off serial run", workers)
+		}
+	}
+}

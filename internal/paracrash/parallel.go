@@ -29,6 +29,7 @@ import (
 	"strings"
 	"sync"
 
+	"paracrash/internal/obs"
 	"paracrash/internal/pfs"
 	"paracrash/internal/tsp"
 )
@@ -155,9 +156,11 @@ func exploreOrder(n, nprocs int, sigs [][]string, disableTSP bool) []int {
 }
 
 // shardSession builds a worker's private session around a detached clone:
-// shared read-only analysis state, private clients and caches.
+// shared read-only analysis state, private clients and caches. The
+// worker's effort lands on worker/-prefixed counters so the primary
+// session's counters keep reconciling 1:1 with Stats.
 func (s *session) shardSession(fs pfs.FileSystem) *session {
-	return &session{
+	ws := &session{
 		fs: fs, lib: s.lib, opts: s.opts,
 		g: s.g, emu: s.emu, pfsOps: s.pfsOps, libOps: s.libOps,
 		initial:        s.initial,
@@ -170,6 +173,8 @@ func (s *session) shardSession(fs pfs.FileSystem) *session {
 		goldenPFS:      s.goldenPFS,
 		goldenLib:      s.goldenLib,
 	}
+	ws.bindObs(s.obs, "worker/")
+	return ws
 }
 
 // runParallel shards the states across workers and merges their verdicts
@@ -178,22 +183,31 @@ func (s *session) shardSession(fs pfs.FileSystem) *session {
 func (s *session) runParallel(states []CrashState, cloner pfs.Cloner, workers int, skip func(CrashState) bool, handle func(CrashState), bugs *BugSet) {
 	board := newResultBoard(len(states))
 	shards := shardStates(len(states), workers)
+	s.obs.Gauge("workers").Set(int64(len(shards)))
 
 	var wg sync.WaitGroup
-	for _, ids := range shards {
+	for wi, ids := range shards {
 		// Clones are built sequentially here (backend constructors are not
 		// concurrency-safe against each other's recorder plumbing).
-		ws := s.shardSession(cloner.CloneDetached())
+		clone := cloner.CloneDetached()
+		if oa, ok := clone.(pfs.ObsAware); ok {
+			oa.SetObs(s.obs)
+		}
+		ws := s.shardSession(clone)
 		ws.fs.Recorder().SetEnabled(false)
+		// Per-worker shard depth, decremented as the worker publishes; the
+		// progress stream shows stragglers directly.
+		pending := s.obs.Gauge(fmt.Sprintf("worker/%02d/pending", wi))
+		pending.Set(int64(len(ids)))
 		wg.Add(1)
-		go func(ws *session, ids []int) {
+		go func(ws *session, ids []int, pending *obs.Gauge) {
 			defer wg.Done()
 			if ws.opts.Mode == ModeOptimized {
-				ws.exploreShardOptimized(states, ids, bugs, board)
+				ws.exploreShardOptimized(states, ids, bugs, board, pending)
 			} else {
-				ws.exploreShard(states, ids, bugs, board)
+				ws.exploreShard(states, ids, bugs, board, pending)
 			}
-		}(ws, ids)
+		}(ws, ids, pending)
 	}
 
 	// Merge on this goroutine, in the exact serial visiting order. Checks
@@ -210,6 +224,7 @@ func (s *session) runParallel(states []CrashState, cloner pfs.Cloner, workers in
 		}
 		return board.await(id)
 	}
+	stopMerge := s.obs.Phase(obs.PhaseMerge)
 	if s.opts.Mode == ModeOptimized {
 		s.mergeOptimized(states, board, skip, handle)
 	} else {
@@ -219,27 +234,32 @@ func (s *session) runParallel(states []CrashState, cloner pfs.Cloner, workers in
 			}
 		}
 	}
+	stopMerge()
 	s.outcomeFor = nil
 	wg.Wait()
 }
 
 // exploreShard judges the worker's states in index order (the brute/pruning
 // visiting order), publishing every verdict to the board.
-func (ws *session) exploreShard(states []CrashState, ids []int, bugs *BugSet, board *resultBoard) {
+func (ws *session) exploreShard(states []CrashState, ids []int, bugs *BugSet, board *resultBoard, pending *obs.Gauge) {
 	for _, id := range ids {
 		cs := states[id]
 		if ws.opts.Mode != ModeBrute && bugs.KnownBad(cs) {
 			board.skip(id)
+			ws.ctrPruned.Inc()
+			pending.Add(-1)
 			continue
 		}
 		board.publish(id, ws.check(cs))
+		ws.ctrChecked.Inc()
+		pending.Add(-1)
 	}
 }
 
 // exploreShardOptimized judges the worker's states along a shard-local TSP
 // tour with incremental per-server reconstruction (the serial optimized
 // engine, confined to the shard).
-func (ws *session) exploreShardOptimized(states []CrashState, ids []int, bugs *BugSet, board *resultBoard) {
+func (ws *session) exploreShardOptimized(states []CrashState, ids []int, bugs *BugSet, board *resultBoard, pending *obs.Gauge) {
 	if len(ids) == 0 {
 		return
 	}
@@ -266,6 +286,8 @@ func (ws *session) exploreShardOptimized(states []CrashState, ids []int, bugs *B
 		cs := shard[k]
 		if bugs.KnownBad(cs) {
 			board.skip(ids[k])
+			ws.ctrPruned.Inc()
+			pending.Add(-1)
 			continue
 		}
 		for pi, p := range procs {
@@ -273,9 +295,11 @@ func (ws *session) exploreShardOptimized(states []CrashState, ids []int, bugs *B
 				continue
 			}
 			ws.fs.RestoreServer(ws.initial, p)
+			ws.ctrRestores.Inc()
 			for _, n := range serverOps[p] {
 				if cs.Keep.Get(n) {
 					_ = ws.fs.ApplyLowermost(ws.g.Ops[n])
+					ws.ctrReplayed.Inc()
 				}
 			}
 			cur[pi] = sigs[k][pi]
@@ -284,6 +308,8 @@ func (ws *session) exploreShardOptimized(states []CrashState, ids []int, bugs *B
 		// incrementally maintained applied state.
 		applied := ws.fs.Snapshot()
 		board.publish(ids[k], ws.verdict(cs))
+		ws.ctrChecked.Inc()
+		pending.Add(-1)
 		ws.fs.Restore(applied)
 	}
 }
@@ -311,10 +337,10 @@ func (s *session) mergeOptimized(states []CrashState, board *resultBoard, skip f
 			if cur[pi] == sigs[idx][pi] {
 				continue
 			}
-			s.stats.ServerRestores++
+			s.chargeRestores(1)
 			for _, n := range serverOps[p] {
 				if cs.Keep.Get(n) {
-					s.stats.OpsReplayed++
+					s.chargeReplayed(1)
 				}
 			}
 			cur[pi] = sigs[idx][pi]
@@ -339,6 +365,10 @@ func (s *session) computeScratch(cs CrashState) checkResult {
 	restores, replayed := s.stats.ServerRestores, s.stats.OpsReplayed
 	s.reconstruct(cs)
 	res := s.verdict(cs)
+	// Roll the counters back in lockstep with the stats so the obs totals
+	// keep reconciling 1:1 with the reported Stats.
+	s.ctrRestores.Add(int64(restores - s.stats.ServerRestores))
+	s.ctrReplayed.Add(int64(replayed - s.stats.OpsReplayed))
 	s.stats.ServerRestores, s.stats.OpsReplayed = restores, replayed
 	return res
 }

@@ -165,7 +165,10 @@ func (f *FS) resolveFile(path string) (fileRef, error) {
 	}
 	fid, _ := mfs.GetXattr(dentry, "id")
 	base, _ := mfs.GetXattr(dentry, "base")
-	bi, _ := strconv.Atoi(string(base))
+	bi, err := strconv.Atoi(string(base))
+	if err != nil || bi < 0 || bi >= f.conf.StorageServers {
+		return fileRef{}, fmt.Errorf("beegfs: %q: corrupt base target %q", path, base)
+	}
 	return fileRef{dir: dr, name: name, fid: string(fid), base: bi}, nil
 }
 
@@ -561,6 +564,7 @@ func (c *client) Close(path string) error {
 // entries and re-creates missing dentries containers. Like the real tool it
 // restores structural invariants but cannot resurrect lost updates.
 func (f *FS) Recover() error {
+	defer f.TimeOp("pfs/recover")()
 	for mi := 0; mi < f.conf.MetaServers; mi++ {
 		m := f.meta(mi).FS
 		if !m.IsDir("/dentries") {
@@ -583,11 +587,20 @@ func (f *FS) Recover() error {
 					_ = m.Unlink(e)
 					continue
 				}
-				if t, _ := m.GetXattr(e, "t"); string(t) == "d" {
+				switch t, _ := m.GetXattr(e, "t"); string(t) {
+				case "f":
+					// A file dentry whose base target does not parse to a
+					// valid storage index is unrepairable: drop it, as
+					// beegfs-fsck drops entries it cannot resolve.
+					base, _ := m.GetXattr(e, "base")
+					if bi, err := strconv.Atoi(string(base)); err != nil || bi < 0 || bi >= f.conf.StorageServers {
+						_ = m.Unlink(e)
+					}
+				case "d":
 					id, _ := m.GetXattr(e, "id")
 					owner, _ := m.GetXattr(e, "owner")
 					oi, err := strconv.Atoi(string(owner))
-					if err != nil || oi >= f.conf.MetaServers {
+					if err != nil || oi < 0 || oi >= f.conf.MetaServers {
 						_ = m.Unlink(e)
 						continue
 					}
@@ -615,6 +628,7 @@ func (f *FS) Recover() error {
 // Mount materialises the logical namespace by walking the metadata
 // structures from the root.
 func (f *FS) Mount() (*pfs.Tree, error) {
+	defer f.TimeOp("pfs/mount")()
 	t := pfs.NewTree()
 	var walk func(path string, dr dirRef) error
 	walk = func(path string, dr dirRef) error {
@@ -652,7 +666,10 @@ func (f *FS) Mount() (*pfs.Tree, error) {
 			case "f":
 				fid, _ := m.GetXattr(e, "id")
 				base, _ := m.GetXattr(e, "base")
-				bi, _ := strconv.Atoi(string(base))
+				bi, err := strconv.Atoi(string(base))
+				if err != nil || bi < 0 || bi >= f.conf.StorageServers {
+					return fmt.Errorf("beegfs: mount: corrupt base target %q on dentry %s", base, e)
+				}
 				t.AddFile(child, f.readFile(fileRef{fid: string(fid), base: bi}))
 			default:
 				return fmt.Errorf("beegfs: mount: unknown dentry type %q at %s", t0, e)

@@ -208,3 +208,69 @@ func TestDirPlacementOverride(t *testing.T) {
 		t.Fatalf("pinned dir owner = %d, want 1", dr.owner)
 	}
 }
+
+// TestCorruptBaseSurfacesAsInconsistency pins the parse-error fix: a base
+// xattr that does not parse to a valid storage index must surface through
+// resolveFile and Mount instead of silently reading as server 0, and fsck
+// must drop the unrepairable dentry.
+func TestCorruptBaseSurfacesAsInconsistency(t *testing.T) {
+	for _, corrupt := range []string{"garbage", "-1", "7", ""} {
+		t.Run("base="+corrupt, func(t *testing.T) {
+			f := newFS(t)
+			c := f.Client(0)
+			if err := c.Create("/ok"); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Create("/victim"); err != nil {
+				t.Fatal(err)
+			}
+			m := f.meta(0).FS
+			if err := m.SetXattr("/dentries/root/victim", "base", []byte(corrupt)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.resolveFile("/victim"); err == nil {
+				t.Fatal("resolveFile must reject a corrupt base target")
+			}
+			if _, err := f.Mount(); err == nil {
+				t.Fatal("mount must fail on a corrupt base target")
+			}
+			if err := f.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			tree, err := f.Mount()
+			if err != nil {
+				t.Fatalf("mount after fsck: %v", err)
+			}
+			if _, ok := tree.Entries["/victim"]; ok {
+				t.Fatal("fsck kept the dentry with the corrupt base")
+			}
+			if _, ok := tree.Entries["/ok"]; !ok {
+				t.Fatal("fsck dropped a healthy file")
+			}
+		})
+	}
+}
+
+// TestFsckDropsNegativeOwner extends the owner-range check: a negative
+// owner index must be treated as corruption, not an index into the servers.
+func TestFsckDropsNegativeOwner(t *testing.T) {
+	f := newFS(t)
+	c := f.Client(0)
+	if err := c.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	m := f.meta(0).FS
+	if err := m.SetXattr("/dentries/root/d", "owner", []byte("-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := f.Mount()
+	if err != nil {
+		t.Fatalf("mount after fsck: %v", err)
+	}
+	if _, ok := tree.Entries["/d"]; ok {
+		t.Fatal("fsck kept the dentry with the negative owner")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"paracrash/internal/blockdev"
 	"paracrash/internal/causality"
+	"paracrash/internal/obs"
 	"paracrash/internal/trace"
 	"paracrash/internal/vfs"
 )
@@ -123,7 +124,27 @@ type Cluster struct {
 	// overrides the default semantic tag of data writes so lowermost ops
 	// carry labels like "h5:data:/g1/d1" for pruning and correlation.
 	tagHint string
+
+	// obsRun, when set, receives restore/recover/mount timings. Nil (the
+	// default) disables collection; TimeOp then returns a no-op stop.
+	obsRun *obs.Run
 }
+
+// ObsAware is implemented by file systems that can attach an observability
+// run (every Cluster-based FileSystem). The explorer sets the run on the
+// primary cluster and on each worker clone; a shared *obs.Run is safe for
+// concurrent use.
+type ObsAware interface {
+	SetObs(*obs.Run)
+}
+
+// SetObs attaches (or, with nil, detaches) the observability run.
+func (c *Cluster) SetObs(r *obs.Run) { c.obsRun = r }
+
+// TimeOp starts a named timer span on the attached run and returns its stop
+// function; allocation-free no-op when no run is attached. Backends wrap
+// their Recover/Mount bodies with it ("pfs/recover", "pfs/mount").
+func (c *Cluster) TimeOp(name string) func() { return c.obsRun.StartTimer(name) }
 
 // SetTagHint sets (or, with "", clears) the semantic tag applied to
 // subsequent data writes. Exposed on every FileSystem via the embedded
@@ -208,6 +229,7 @@ func (c *Cluster) Snapshot() *State {
 
 // Restore resets every server store to st.
 func (c *Cluster) Restore(st *State) {
+	defer c.TimeOp("pfs/restore-all")()
 	for _, s := range c.FSServers {
 		if snap, ok := st.FS[s.Proc]; ok {
 			s.FS.Restore(snap)
@@ -222,6 +244,7 @@ func (c *Cluster) Restore(st *State) {
 
 // RestoreServer resets one server store to its state in st.
 func (c *Cluster) RestoreServer(st *State, proc string) {
+	defer c.TimeOp("pfs/restore-server")()
 	if s := c.FSServer(proc); s != nil {
 		if snap, ok := st.FS[proc]; ok {
 			s.FS.Restore(snap)

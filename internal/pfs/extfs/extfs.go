@@ -121,6 +121,7 @@ func (f *FS) Recover() error { return nil }
 
 // Mount returns the logical namespace, which is simply the local FS view.
 func (f *FS) Mount() (*pfs.Tree, error) {
+	defer f.TimeOp("pfs/mount")()
 	t := pfs.NewTree()
 	fs := f.local().FS
 	for _, p := range fs.Walk() {

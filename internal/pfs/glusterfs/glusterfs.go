@@ -13,6 +13,7 @@ package glusterfs
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"paracrash/internal/pfs"
@@ -141,13 +142,21 @@ func (c *client) Mkdir(path string) error {
 	return err
 }
 
-// gfidOf reads the file's gfid from its base brick copy.
+// gfidOf reads the file's gfid from its base brick copy. A missing base
+// xattr defaults to brick 0 (the gfid persists before the base under data
+// journaling, so a crash can legitimately drop just the base xattr on a
+// brick-0 file); a base that is present but does not parse to a valid
+// brick index is corruption and surfaces as an error.
 func (f *FS) gfidOf(path string) (string, int, error) {
 	for i := 0; i < f.conf.StorageServers; i++ {
 		if g, ok := f.brick(i).FS.GetXattr(local(path), "gfid"); ok {
 			base := 0
 			if b, ok := f.brick(i).FS.GetXattr(local(path), "base"); ok {
-				fmt.Sscanf(string(b), "%d", &base)
+				bi, err := strconv.Atoi(string(b))
+				if err != nil || bi < 0 || bi >= f.conf.StorageServers {
+					return "", 0, fmt.Errorf("glusterfs: %q: corrupt base xattr %q", path, b)
+				}
+				base = bi
 			}
 			return string(g), base, nil
 		}
@@ -328,6 +337,7 @@ func (c *client) Close(path string) error {
 // onto every brick and stripe files whose base copy (the one carrying the
 // gfid xattr) is gone are removed as orphans.
 func (f *FS) Recover() error {
+	defer f.TimeOp("pfs/recover")()
 	// Heal directories: the first brick is authoritative; mirror its tree
 	// onto the other bricks.
 	dirs := map[string]bool{}
@@ -374,6 +384,7 @@ func (f *FS) Recover() error {
 // striped volume is in GlusterFS); a file exists if some brick holds its
 // base copy (the gfid xattr), with contents reassembled from all bricks.
 func (f *FS) Mount() (*pfs.Tree, error) {
+	defer f.TimeOp("pfs/mount")()
 	t := pfs.NewTree()
 	seen := map[string]bool{}
 	for i := 0; i < f.conf.StorageServers; i++ {
@@ -395,7 +406,11 @@ func (f *FS) Mount() (*pfs.Tree, error) {
 			}
 			base := 0
 			if b, ok := bfs.GetXattr(p, "base"); ok {
-				fmt.Sscanf(string(b), "%d", &base)
+				bi, err := strconv.Atoi(string(b))
+				if err != nil || bi < 0 || bi >= f.conf.StorageServers {
+					return nil, fmt.Errorf("glusterfs: mount: corrupt base xattr %q on %s", b, p)
+				}
+				base = bi
 			}
 			seen[p] = true
 			t.AddFile(vpath, f.readFile(vpath, base))

@@ -142,3 +142,30 @@ func TestRenameMovesAllStripes(t *testing.T) {
 		}
 	}
 }
+
+// TestCorruptBaseSurfacesAsInconsistency pins the parse-error fix: a base
+// xattr that does not parse to a valid brick index must error out of
+// gfidOf (client paths) and Mount instead of silently reading as brick 0.
+func TestCorruptBaseSurfacesAsInconsistency(t *testing.T) {
+	for _, corrupt := range []string{"junk", "-1", "9", ""} {
+		t.Run("base="+corrupt, func(t *testing.T) {
+			f := newFS(t)
+			c := f.Client(0)
+			if err := c.Create("/victim"); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.brick(0).FS.SetXattr("/vol/victim", "base", []byte(corrupt)); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := f.gfidOf("/victim"); err == nil {
+				t.Fatal("gfidOf must reject a corrupt base xattr")
+			}
+			if _, err := c.Read("/victim"); err == nil {
+				t.Fatal("read must fail on a corrupt base xattr")
+			}
+			if _, err := f.Mount(); err == nil {
+				t.Fatal("mount must fail on a corrupt base xattr")
+			}
+		})
+	}
+}

@@ -603,6 +603,7 @@ func (c *client) Close(path string) error {
 // Recover implements pvfs2-fsck: it recovers stranded bstreams that are
 // still referenced by the database and removes those that are not.
 func (f *FS) Recover() error {
+	defer f.TimeOp("pfs/recover")()
 	// Collect referenced file IDs across all metadata servers.
 	referenced := map[string]bool{}
 	for mi := 0; mi < f.conf.MetaServers; mi++ {
@@ -641,6 +642,7 @@ func (f *FS) Recover() error {
 
 // Mount materialises the logical namespace by walking the databases.
 func (f *FS) Mount() (*pfs.Tree, error) {
+	defer f.TimeOp("pfs/mount")()
 	t := pfs.NewTree()
 	var walk func(path string, dr dirRef) error
 	walk = func(path string, dr dirRef) error {

@@ -677,6 +677,7 @@ func (c *client) Close(path string) error {
 //     entries referencing unreadable or unallocated inodes are removed
 //     (the paper's data loss and metadata loss consequences of bug #3).
 func (f *FS) Recover() error {
+	defer f.TimeOp("pfs/recover")()
 	if f.policy.ReplayLog {
 		type seqRec struct {
 			rec logRecord
@@ -747,6 +748,7 @@ func (f *FS) Recover() error {
 
 // Mount materialises the logical namespace by walking from the root.
 func (f *FS) Mount() (*pfs.Tree, error) {
+	defer f.TimeOp("pfs/mount")()
 	sb, ok := readBlock[superBlock](f, f.owner(1), lbaSuper)
 	if !ok {
 		return nil, fmt.Errorf("%s: mount: superblock unreadable", f.policy.FSName)
