@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck test race ci bench gobench experiments examples fuzz clean
+.PHONY: all build vet fmtcheck test race ci bench gobench experiments examples fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -27,7 +27,7 @@ race:
 	$(GO) test -race ./...
 
 # Everything a change must pass before it lands.
-ci: build vet fmtcheck test race
+ci: build vet fmtcheck test race fuzz-smoke
 
 # Run the benchmark trajectory with observability enabled and write the
 # per-run summary (phase timings, counters, Stats) as BENCH_<stamp>.json.
@@ -49,9 +49,23 @@ examples:
 	$(GO) run ./examples/models
 	$(GO) run ./examples/hdf5workflow
 
-# Short fuzzing session over the HDF5 parser.
+# Coverage-guided fuzzing over every fuzz target, FUZZTIME each, then a
+# metamorphic campaign over the exploration engine itself.
+FUZZTIME ?= 30s
+FUZZSEEDS ?= 64
 fuzz:
-	$(GO) test ./internal/hdf5/ -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/hdf5/ -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/paracrash/ -fuzz FuzzParseModel -fuzztime $(FUZZTIME)
+	$(GO) run ./cmd/experiments -exp fuzz -seeds $(FUZZSEEDS) -fuzz-out corpus
+
+# Fast fuzzing gate for CI: a few seconds per coverage-guided target plus a
+# small all-backend metamorphic campaign.
+fuzz-smoke:
+	$(GO) test ./internal/hdf5/ -fuzz FuzzParse -fuzztime 5s
+	$(GO) test ./internal/trace/ -fuzz FuzzTraceRoundTrip -fuzztime 5s
+	$(GO) test ./internal/paracrash/ -fuzz FuzzParseModel -fuzztime 5s
+	$(GO) run ./cmd/experiments -exp fuzz -seeds 8 -enum-ops 1
 
 clean:
 	$(GO) clean ./...

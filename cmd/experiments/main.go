@@ -13,7 +13,13 @@
 //	experiments -exp speedups   # §6.4 headline numbers on ARVR/BeeGFS
 //	experiments -exp parallel   # worker-pool engine vs serial wall clock
 //	experiments -exp bench      # benchmark trajectory -> BENCH_*.json
-//	experiments -exp all
+//	experiments -exp fuzz       # metamorphic fuzz campaign over the engine
+//	experiments -exp all        # every experiment above except fuzz
+//
+// The fuzz campaign is a correctness gate rather than a paper artifact, so
+// "all" does not include it; run it explicitly:
+//
+//	experiments -exp fuzz -seeds 64 -fuzz-out corpus/
 package main
 
 import (
@@ -21,16 +27,26 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"paracrash/internal/exps"
+	"paracrash/internal/fuzzcamp"
+	"paracrash/internal/obs"
 	core "paracrash/internal/paracrash"
 	"paracrash/internal/workloads"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5, fig8, fig9, fig10, fig11, table3, sensitivity, speedups, parallel, bench, all")
+	exp := flag.String("exp", "all", "experiment: fig5, fig8, fig9, fig10, fig11, table3, sensitivity, speedups, parallel, bench, fuzz, all")
 	servers := flag.String("servers", "4,6,8,16,32", "server counts for fig11")
 	benchOut := flag.String("bench-out", "", "bench: write the BENCH_*.json summary to this file (default stdout)")
+	fuzzSeeds := flag.Int("seeds", 64, "fuzz: number of generated workload seeds")
+	fuzzSeedStart := flag.Int64("seed-start", 0, "fuzz: first generator seed")
+	fuzzEnumOps := flag.Int("enum-ops", 2, "fuzz: also enumerate all op sequences up to this length (0 = off)")
+	fuzzOut := flag.String("fuzz-out", "", "fuzz: directory for minimized reproducer corpus files")
+	fuzzTime := flag.Duration("fuzz-time", 0, "fuzz: wall-clock budget, e.g. 30s (0 = no limit)")
+	fuzzBackends := flag.String("fuzz-backends", "", "fuzz: comma-separated backends (default: all six)")
+	fuzzProgress := flag.Bool("progress", false, "fuzz: stream live progress to stderr")
 	flag.Parse()
 
 	h5p := workloads.DefaultH5Params()
@@ -102,6 +118,39 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("benchmark summary written to %s (%d records)\n", *benchOut, len(sum.Records))
+		case "fuzz":
+			var backends []string
+			for _, b := range strings.Split(*fuzzBackends, ",") {
+				if b = strings.TrimSpace(b); b != "" {
+					backends = append(backends, b)
+				}
+			}
+			var orun *obs.Run
+			if *fuzzProgress {
+				orun = obs.NewRun()
+				orun.AddSink(&obs.HumanSink{W: os.Stderr})
+				orun.StartProgress(time.Second)
+			}
+			res, err := fuzzcamp.Run(fuzzcamp.Config{
+				Backends:   backends,
+				SeedStart:  *fuzzSeedStart,
+				Seeds:      *fuzzSeeds,
+				EnumOps:    *fuzzEnumOps,
+				TimeBudget: *fuzzTime,
+				CorpusDir:  *fuzzOut,
+				Obs:        orun,
+			})
+			if orun != nil {
+				orun.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Print(res.Format())
+			if !res.OK() {
+				os.Exit(1)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
 			os.Exit(2)

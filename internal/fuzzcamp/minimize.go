@@ -1,0 +1,116 @@
+package fuzzcamp
+
+import (
+	"strings"
+
+	"paracrash/internal/workloads"
+)
+
+// Minimize shrinks a violating op sequence with the ddmin delta-debugging
+// algorithm: it returns a subsequence of body for which pred still holds and
+// which is 1-minimal with respect to the chunks tried (removing any single
+// remaining op no longer reproduces the violation once granularity reaches
+// one op per chunk).
+//
+// pred must be deterministic and must return false for op sequences that are
+// invalid (fail to run): the campaign's predicates run the candidate through
+// the explorer, so a shrink that removes a creat its pwrite depends on simply
+// fails the run and is rejected. Results are memoised, so re-testing a chunk
+// the search already visited costs nothing. maxTests bounds the number of
+// *distinct* predicate evaluations (<= 0 means unlimited); when the budget
+// runs out the best sequence found so far is returned.
+func Minimize(body []workloads.Op, pred func([]workloads.Op) bool, maxTests int) []workloads.Op {
+	cur := append([]workloads.Op(nil), body...)
+	if len(cur) <= 1 {
+		return cur
+	}
+	cache := map[string]bool{}
+	tests := 0
+	test := func(ops []workloads.Op) bool {
+		k := opsKey(ops)
+		if v, ok := cache[k]; ok {
+			return v
+		}
+		if maxTests > 0 && tests >= maxTests {
+			return false
+		}
+		tests++
+		v := pred(ops)
+		cache[k] = v
+		return v
+	}
+
+	n := 2
+	for len(cur) >= 2 {
+		parts := splitOps(cur, n)
+		reduced := false
+		// Reduce to subset: one chunk alone still violates.
+		for _, p := range parts {
+			if test(p) {
+				cur, n, reduced = p, 2, true
+				break
+			}
+		}
+		if !reduced {
+			// Reduce to complement: dropping one chunk still violates.
+			for i := range parts {
+				c := complementOps(parts, i)
+				if test(c) {
+					cur, reduced = c, true
+					if n > 2 {
+						n--
+					}
+					break
+				}
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break // 1-minimal at op granularity
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+		if maxTests > 0 && tests >= maxTests {
+			break
+		}
+	}
+	return cur
+}
+
+// splitOps partitions ops into n non-empty contiguous chunks (n <= len).
+func splitOps(ops []workloads.Op, n int) [][]workloads.Op {
+	out := make([][]workloads.Op, 0, n)
+	start := 0
+	for i := 0; i < n; i++ {
+		end := start + (len(ops)-start)/(n-i)
+		if end > start {
+			out = append(out, ops[start:end])
+		}
+		start = end
+	}
+	return out
+}
+
+// complementOps concatenates every chunk except parts[skip].
+func complementOps(parts [][]workloads.Op, skip int) []workloads.Op {
+	var out []workloads.Op
+	for i, p := range parts {
+		if i != skip {
+			out = append(out, p...)
+		}
+	}
+	return out
+}
+
+// opsKey canonicalises an op sequence for memoisation.
+func opsKey(ops []workloads.Op) string {
+	var b strings.Builder
+	for _, op := range ops {
+		b.WriteString(op.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

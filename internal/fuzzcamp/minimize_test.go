@@ -1,0 +1,93 @@
+package fuzzcamp
+
+import (
+	"testing"
+
+	"paracrash/internal/workloads"
+)
+
+// fakeBody builds a synthetic op list whose paths name the ops.
+func fakeBody(names ...string) []workloads.Op {
+	out := make([]workloads.Op, len(names))
+	for i, n := range names {
+		out[i] = workloads.Op{Kind: workloads.OpCreat, Path: "/" + n}
+	}
+	return out
+}
+
+func hasPaths(ops []workloads.Op, want ...string) bool {
+	got := map[string]bool{}
+	for _, op := range ops {
+		got[op.Path] = true
+	}
+	for _, w := range want {
+		if !got["/"+w] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMinimizeFindsTwoOpCore(t *testing.T) {
+	body := fakeBody("x0", "a", "x1", "x2", "b", "x3", "x4", "x5")
+	calls := 0
+	pred := func(ops []workloads.Op) bool {
+		calls++
+		return hasPaths(ops, "a", "b")
+	}
+	min := Minimize(body, pred, 0)
+	if len(min) != 2 || !hasPaths(min, "a", "b") {
+		t.Fatalf("Minimize kept %v, want exactly /a and /b", min)
+	}
+	if calls == 0 {
+		t.Fatal("predicate never evaluated")
+	}
+	// 1-minimality: dropping any remaining op must break the predicate.
+	for i := range min {
+		rest := append(append([]workloads.Op(nil), min[:i]...), min[i+1:]...)
+		if pred(rest) {
+			t.Fatalf("result not 1-minimal: still violates without %v", min[i])
+		}
+	}
+}
+
+func TestMinimizeKeepsSingleton(t *testing.T) {
+	body := fakeBody("only")
+	min := Minimize(body, func(ops []workloads.Op) bool { return len(ops) > 0 }, 0)
+	if len(min) != 1 || min[0].Path != "/only" {
+		t.Fatalf("singleton body changed: %v", min)
+	}
+}
+
+func TestMinimizeRespectsTestBudget(t *testing.T) {
+	body := fakeBody("a", "b", "c", "d", "e", "f", "g", "h")
+	calls := 0
+	pred := func(ops []workloads.Op) bool {
+		calls++
+		return hasPaths(ops, "a", "h")
+	}
+	min := Minimize(body, pred, 3)
+	if calls > 3 {
+		t.Fatalf("budget of 3 distinct tests exceeded: %d calls", calls)
+	}
+	// Whatever was returned must still violate (the budget never trades
+	// away reproduction).
+	if !hasPaths(min, "a", "h") {
+		t.Fatalf("budget-limited result no longer violates: %v", min)
+	}
+}
+
+func TestMinimizeMemoisesRepeatedCandidates(t *testing.T) {
+	body := fakeBody("a", "b", "c", "d")
+	seen := map[string]int{}
+	pred := func(ops []workloads.Op) bool {
+		seen[opsKey(ops)]++
+		return hasPaths(ops, "a")
+	}
+	Minimize(body, pred, 0)
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("candidate evaluated %d times: %q", n, k)
+		}
+	}
+}

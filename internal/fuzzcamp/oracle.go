@@ -1,0 +1,274 @@
+package fuzzcamp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paracrash/internal/exps"
+	"paracrash/internal/paracrash"
+	"paracrash/internal/workloads"
+)
+
+// Oracle names, in evaluation order.
+const (
+	// OracleLattice checks model-lattice monotonicity: legal(strict) ⊆
+	// legal(causal) ⊆ legal(commit) and legal(strict) ⊆ legal(baseline), so
+	// the inconsistent-state key sets must shrink in the opposite direction
+	// (causal ⊆ strict, commit ⊆ causal, baseline ⊆ strict).
+	OracleLattice = "lattice"
+	// OracleDifferential checks the parallel engine's determinism contract:
+	// Workers=1 and Workers=N brute explorations must produce reports that
+	// are byte-identical modulo wall time.
+	OracleDifferential = "differential"
+	// OraclePruning checks pruning soundness at the bug-cause level: pruned
+	// and optimized explorations must not report causes brute force does not
+	// (no false positives) and must not be vacuously silent when brute force
+	// finds bugs. Raw signature equality is deliberately NOT required — the
+	// reported operation pair is a per-group representative that shifts with
+	// the set of states a strategy classifies, so only the aggregation group
+	// (Bug.CauseKey: kind, layer and culprit class, or the in-flight parent
+	// op) is comparable across strategies.
+	OraclePruning = "pruning"
+	// OracleInjected is the test-only injection hook (Config.Inject).
+	OracleInjected = "injected"
+)
+
+// Violation is one deduplicated oracle failure, after minimization.
+type Violation struct {
+	Oracle   string
+	Backend  string
+	Workload string
+	// Signature is the dedup identity (oracle, backend and failure cause).
+	Signature string
+	Detail    string
+	// Body is the minimized reproducer body; Preamble is carried unchanged.
+	Preamble []workloads.Op
+	Body     []workloads.Op
+	// MinimizedFrom/MinimizedTo record the body length before and after
+	// delta debugging.
+	MinimizedFrom int
+	MinimizedTo   int
+	// CorpusFile is the written repro path ("" when no corpus dir was set
+	// or minimization could not preserve the failure).
+	CorpusFile string
+}
+
+// pending is a detected violation awaiting the deterministic
+// dedup/minimize/corpus pass. pred re-judges a candidate body against the
+// specific failing oracle (nil when the violation is not minimizable).
+type pending struct {
+	v    *Violation
+	pred func(body []workloads.Op) bool
+}
+
+// latticeEdge is one inclusion to check: violations(sub) ⊆ violations(super).
+type latticeEdge struct {
+	sub, super paracrash.Model
+}
+
+func latticeEdges() []latticeEdge {
+	return []latticeEdge{
+		{paracrash.ModelCausal, paracrash.ModelStrict},
+		{paracrash.ModelCommit, paracrash.ModelCausal},
+		{paracrash.ModelBaseline, paracrash.ModelStrict},
+	}
+}
+
+// stateKeys collects the report's inconsistent-state identity keys.
+func stateKeys(rep *paracrash.Report) map[string]bool {
+	out := make(map[string]bool, len(rep.States))
+	for _, st := range rep.States {
+		out[st.Key] = true
+	}
+	return out
+}
+
+// causeKeys collects the server-stripped bug cause classes of a report.
+func causeKeys(rep *paracrash.Report) map[string]bool {
+	out := make(map[string]bool, len(rep.Bugs))
+	for _, b := range rep.Bugs {
+		out[b.CauseKey()] = true
+	}
+	return out
+}
+
+// missingFrom returns the keys of sub absent from super, sorted.
+func missingFrom(sub, super map[string]bool) []string {
+	var out []string
+	for k := range sub {
+		if !super[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// firstDiffLine locates the first line where two report fingerprints
+// diverge, for the differential oracle's detail message.
+func firstDiffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		av, bv := "", ""
+		if i < len(al) {
+			av = al[i]
+		}
+		if i < len(bl) {
+			bv = bl[i]
+		}
+		if av != bv {
+			return fmt.Sprintf("line %d: serial %q vs parallel %q", i+1, av, bv)
+		}
+	}
+	return "fingerprints differ"
+}
+
+// evalCell runs the full oracle battery for one workload × backend cell:
+// four serial brute runs (one per consistency model), one parallel brute
+// run, and the two pruned-strategy runs — seven explorer invocations.
+func (c *campaign) evalCell(backend string, prog *workloads.Program) ([]*pending, error) {
+	models := []paracrash.Model{
+		paracrash.ModelStrict, paracrash.ModelCommit,
+		paracrash.ModelCausal, paracrash.ModelBaseline,
+	}
+	brute := map[paracrash.Model]*paracrash.Report{}
+	for _, m := range models {
+		rep, err := c.explore(backend, prog, paracrash.ModeBrute, m, 1)
+		if err != nil {
+			return nil, fmt.Errorf("brute/%s: %w", m, err)
+		}
+		brute[m] = rep
+	}
+
+	var out []*pending
+
+	// Oracle 1: model-lattice monotonicity over state keys.
+	for _, e := range latticeEdges() {
+		e := e
+		missing := missingFrom(stateKeys(brute[e.sub]), stateKeys(brute[e.super]))
+		if len(missing) == 0 {
+			continue
+		}
+		out = append(out, &pending{
+			v: &Violation{
+				Oracle: OracleLattice, Backend: backend, Workload: prog.Name(),
+				Signature: fmt.Sprintf("%s|%s|%s⊆%s|%s", OracleLattice, backend, e.sub, e.super, missing[0]),
+				Detail: fmt.Sprintf("state(s) inconsistent under %s but not under %s: %s",
+					e.sub, e.super, strings.Join(capList(missing, 3), ", ")),
+			},
+			pred: func(body []workloads.Op) bool {
+				p := workloads.NewProgram(prog.Name(), prog.PreambleOps(), body)
+				sub, err := c.explore(backend, p, paracrash.ModeBrute, e.sub, 1)
+				if err != nil {
+					return false
+				}
+				super, err := c.explore(backend, p, paracrash.ModeBrute, e.super, 1)
+				if err != nil {
+					return false
+				}
+				return len(missingFrom(stateKeys(sub), stateKeys(super))) > 0
+			},
+		})
+	}
+
+	// Oracle 2: serial-vs-parallel differential on the causal brute run.
+	serialFP := exps.ReportFingerprint(brute[paracrash.ModelCausal])
+	par, err := c.explore(backend, prog, paracrash.ModeBrute, paracrash.ModelCausal, c.cfg.DiffWorkers)
+	if err != nil {
+		return nil, fmt.Errorf("parallel brute/causal: %w", err)
+	}
+	if parFP := exps.ReportFingerprint(par); parFP != serialFP {
+		diff := firstDiffLine(serialFP, parFP)
+		out = append(out, &pending{
+			v: &Violation{
+				Oracle: OracleDifferential, Backend: backend, Workload: prog.Name(),
+				Signature: fmt.Sprintf("%s|%s|%s", OracleDifferential, backend, diff),
+				Detail: fmt.Sprintf("Workers=1 and Workers=%d brute reports diverge: %s",
+					c.cfg.DiffWorkers, diff),
+			},
+			pred: func(body []workloads.Op) bool {
+				p := workloads.NewProgram(prog.Name(), prog.PreambleOps(), body)
+				s, err := c.explore(backend, p, paracrash.ModeBrute, paracrash.ModelCausal, 1)
+				if err != nil {
+					return false
+				}
+				n, err := c.explore(backend, p, paracrash.ModeBrute, paracrash.ModelCausal, c.cfg.DiffWorkers)
+				if err != nil {
+					return false
+				}
+				return exps.ReportFingerprint(s) != exps.ReportFingerprint(n)
+			},
+		})
+	}
+
+	// Oracle 3: pruning soundness against the causal brute run.
+	bruteCauses := causeKeys(brute[paracrash.ModelCausal])
+	for _, mode := range []paracrash.Mode{paracrash.ModePruning, paracrash.ModeOptimized} {
+		mode := mode
+		rep, err := c.explore(backend, prog, mode, paracrash.ModelCausal, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%s/causal: %w", mode, err)
+		}
+		pred := func(body []workloads.Op) bool {
+			p := workloads.NewProgram(prog.Name(), prog.PreambleOps(), body)
+			b, err := c.explore(backend, p, paracrash.ModeBrute, paracrash.ModelCausal, 1)
+			if err != nil {
+				return false
+			}
+			pr, err := c.explore(backend, p, mode, paracrash.ModelCausal, 1)
+			if err != nil {
+				return false
+			}
+			return len(missingFrom(causeKeys(pr), causeKeys(b))) > 0 ||
+				(len(b.Bugs) > 0 && len(pr.Bugs) == 0)
+		}
+		if stray := missingFrom(causeKeys(rep), bruteCauses); len(stray) > 0 {
+			out = append(out, &pending{
+				v: &Violation{
+					Oracle: OraclePruning, Backend: backend, Workload: prog.Name(),
+					Signature: fmt.Sprintf("%s|%s|%s|stray|%s", OraclePruning, backend, mode, stray[0]),
+					Detail: fmt.Sprintf("%s reports cause(s) brute force does not: %s",
+						mode, strings.Join(capList(stray, 3), ", ")),
+				},
+				pred: pred,
+			})
+		} else if len(brute[paracrash.ModelCausal].Bugs) > 0 && len(rep.Bugs) == 0 {
+			out = append(out, &pending{
+				v: &Violation{
+					Oracle: OraclePruning, Backend: backend, Workload: prog.Name(),
+					Signature: fmt.Sprintf("%s|%s|%s|vacuous", OraclePruning, backend, mode),
+					Detail: fmt.Sprintf("brute force finds %d cause group(s) but %s finds none",
+						len(bruteCauses), mode),
+				},
+				pred: pred,
+			})
+		}
+	}
+
+	// Oracle 4: the injection hook (tests only).
+	if c.cfg.Inject != nil {
+		if detail := c.cfg.Inject(backend, prog); detail != "" {
+			out = append(out, &pending{
+				v: &Violation{
+					Oracle: OracleInjected, Backend: backend, Workload: prog.Name(),
+					Signature: fmt.Sprintf("%s|%s|%s", OracleInjected, backend, detail),
+					Detail:    detail,
+				},
+				pred: func(body []workloads.Op) bool {
+					p := workloads.NewProgram(prog.Name(), prog.PreambleOps(), body)
+					return c.runsClean(backend, p) && c.cfg.Inject(backend, p) != ""
+				},
+			})
+		}
+	}
+	return out, nil
+}
+
+// capList truncates a string list for detail messages.
+func capList(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return append(append([]string(nil), s[:n]...), fmt.Sprintf("… (%d more)", len(s)-n))
+}

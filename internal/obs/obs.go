@@ -42,6 +42,12 @@ const (
 	// PhaseMerge covers the deterministic serial-order merge of worker
 	// verdicts (parallel runs only; nested inside PhaseExplore).
 	PhaseMerge = "merge"
+	// PhaseCampaign covers a fuzz campaign's oracle evaluation: every
+	// explorer run the campaign performs is nested inside it.
+	PhaseCampaign = "campaign"
+	// PhaseMinimize covers delta-debugging minimization of an oracle
+	// violation (nested inside PhaseCampaign).
+	PhaseMinimize = "minimize"
 )
 
 // nopStop is the stop function handed out by nil runs; returning a shared

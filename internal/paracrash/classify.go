@@ -61,6 +61,10 @@ type Bug struct {
 	// States counts the distinct inconsistent crash states deduplicated
 	// into this bug.
 	States int
+	// Group is the BugSet aggregation key the bug was deduplicated under —
+	// kind, layer and culprit class, or the in-flight parent operation. It is
+	// the only identity stable across exploration strategies (see CauseKey).
+	Group string
 }
 
 // Signature returns the dedup key (paper §5.2): bugs with the same cause
@@ -68,6 +72,33 @@ type Bug struct {
 // library objects carried in tags).
 func (b *Bug) Signature() string {
 	return fmt.Sprintf("%s|%s|%s|%s", b.Kind, b.Layer, b.OpA, b.OpB)
+}
+
+// CauseKey returns the bug's root-cause identity at the granularity the
+// exploration strategies agree on: the BugSet aggregation group (kind, layer
+// and culprit class, or the in-flight parent operation). The representative
+// operation pair is NOT part of the identity — OpA is the causally latest
+// victim among the states a strategy happened to classify, and OpB the pair
+// of whichever state was aggregated first, so both shift when pruning
+// classifies fewer states than brute force (the fuzz campaign's
+// pruning-soundness oracle found exactly that on a 2-op lustre workload:
+// same group, victim scsi_write(inode) under brute vs scsi_write(log) under
+// pruning). For bugs built outside a BugSet the culprit class alone is the
+// fallback key.
+func (b *Bug) CauseKey() string {
+	if b.Group != "" {
+		return b.Group
+	}
+	return fmt.Sprintf("%s|%s|%s", b.Kind, b.Layer, stripServer(b.OpB))
+}
+
+// stripServer drops the "#i" server index from an op signature, leaving
+// the class signature (see OpSignatureClass).
+func stripServer(sig string) string {
+	if i := strings.LastIndexByte(sig, '#'); i >= 0 {
+		return sig[:i]
+	}
+	return sig
 }
 
 // OpSignature renders an op in the paper's "op(object)@server#i" notation
@@ -372,6 +403,7 @@ func (s *BugSet) Add(pr PairResult, layer, fsName, program, consequence string) 
 	b := &Bug{
 		Kind: pr.Kind, Layer: layer, FS: fsName, Program: program,
 		OpA: pr.ASig, OpB: pr.BSig, Consequence: consequence, States: 1,
+		Group: group,
 	}
 	s.bugs[group] = b
 	s.bestA[group] = pr.A
@@ -400,6 +432,12 @@ func (s *BugSet) KnownBad(cs CrashState) bool {
 }
 
 // Bugs returns the deduplicated bugs sorted by signature for stable output.
+// Signatures alone can tie — two in-flight atomicity groups may involve
+// identically named op pairs and differ only in the observed damage — so the
+// sort tiebreaks on consequence, state count and finally the group key, which
+// is unique within a set and makes the order total; anything less falls back
+// to map iteration and the report is not reproducible (both gaps found by the
+// fuzz campaign's serial-vs-parallel differential oracle).
 func (s *BugSet) Bugs() []*Bug {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -407,6 +445,17 @@ func (s *BugSet) Bugs() []*Bug {
 	for _, b := range s.bugs {
 		out = append(out, b)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Signature() < out[j].Signature() })
+	sort.Slice(out, func(i, j int) bool {
+		if si, sj := out[i].Signature(), out[j].Signature(); si != sj {
+			return si < sj
+		}
+		if out[i].Consequence != out[j].Consequence {
+			return out[i].Consequence < out[j].Consequence
+		}
+		if out[i].States != out[j].States {
+			return out[i].States < out[j].States
+		}
+		return out[i].Group < out[j].Group
+	})
 	return out
 }

@@ -1,6 +1,7 @@
 package paracrash
 
 import (
+	"reflect"
 	"testing"
 
 	"paracrash/internal/causality"
@@ -148,5 +149,110 @@ func TestOpSignatureForms(t *testing.T) {
 	noTag := &trace.Op{Name: "rename", Proc: "meta/0", Path: "/a"}
 	if got := OpSignatureClass(noTag); got != "rename(/a)@meta" {
 		t.Errorf("path fallback = %q", got)
+	}
+}
+
+// TestBugSetOrderStableOnSignatureTies pins the report order of bugs whose
+// signatures tie: two in-flight atomicity groups can involve identically
+// named op pairs and differ only in their consequence, and before the
+// consequence tiebreak the order fell back to map iteration — serial runs of
+// the same workload produced differently ordered (hence non-byte-identical)
+// reports. Found by the fuzz campaign's differential oracle.
+func TestBugSetOrderStableOnSignatureTies(t *testing.T) {
+	build := func(flip bool) []string {
+		a := PairResult{Kind: BugAtomicity, A: 1, B: 2, ASig: "append(x)@s#1", BSig: "append(x)@s#0",
+			BClass: "append(x)@s", GroupKey: "inflight|op-a"}
+		b := PairResult{Kind: BugAtomicity, A: 3, B: 4, ASig: "append(x)@s#1", BSig: "append(x)@s#0",
+			BClass: "append(x)@s", GroupKey: "inflight|op-b"}
+		set := NewBugSet()
+		if flip {
+			set.Add(b, "pfs", "fs", "prog", "consequence B")
+			set.Add(a, "pfs", "fs", "prog", "consequence A")
+		} else {
+			set.Add(a, "pfs", "fs", "prog", "consequence A")
+			set.Add(b, "pfs", "fs", "prog", "consequence B")
+		}
+		var out []string
+		for _, bug := range set.Bugs() {
+			out = append(out, bug.Signature()+"|"+bug.Consequence)
+		}
+		return out
+	}
+	want := build(false)
+	for i := 0; i < 50; i++ {
+		for _, flip := range []bool{false, true} {
+			if got := build(flip); !reflect.DeepEqual(got, want) {
+				t.Fatalf("bug order unstable (flip=%v iteration %d):\n got %v\nwant %v", flip, i, got, want)
+			}
+		}
+	}
+}
+
+// TestBugSetOrderStableOnFullFieldTies pins the order when even the
+// consequence and state count tie and only the group key differs — two
+// in-flight groups over creats of different paths can produce bugs whose
+// every printed field except Group is identical. The group key, unique
+// within a set, is the final tiebreak. Found by the fuzz campaign's
+// differential oracle at seed 52 on glusterfs.
+func TestBugSetOrderStableOnFullFieldTies(t *testing.T) {
+	build := func(flip bool) []string {
+		a := PairResult{Kind: BugAtomicity, A: 1, B: 2, ASig: "setxattr(xattr)@brick#0", BSig: "creat(file)@brick#0",
+			BClass: "creat(file)@brick", GroupKey: "inflight|creat(/f1)@client/0"}
+		b := PairResult{Kind: BugAtomicity, A: 3, B: 4, ASig: "setxattr(xattr)@brick#0", BSig: "creat(file)@brick#0",
+			BClass: "creat(file)@brick", GroupKey: "inflight|creat(/dir0/f2)@client/0"}
+		set := NewBugSet()
+		if flip {
+			set.Add(b, "pfs", "fs", "prog", "same consequence")
+			set.Add(a, "pfs", "fs", "prog", "same consequence")
+		} else {
+			set.Add(a, "pfs", "fs", "prog", "same consequence")
+			set.Add(b, "pfs", "fs", "prog", "same consequence")
+		}
+		var out []string
+		for _, bug := range set.Bugs() {
+			out = append(out, bug.Group)
+		}
+		return out
+	}
+	want := build(false)
+	for i := 0; i < 50; i++ {
+		for _, flip := range []bool{false, true} {
+			if got := build(flip); !reflect.DeepEqual(got, want) {
+				t.Fatalf("bug order unstable (flip=%v iteration %d):\n got %v\nwant %v", flip, i, got, want)
+			}
+		}
+	}
+}
+
+// TestCauseKeyStableAcrossVictimRepresentatives pins that CauseKey does not
+// depend on which states a strategy classified: brute force seeing victims
+// {inode, log} and pruning seeing only {log} for the same culprit must agree
+// on the cause identity. Found by the fuzz campaign's pruning oracle (lustre,
+// append+pwrite): the two strategies reported different victim halves of the
+// atomicity pair for one underlying bug.
+func TestCauseKeyStableAcrossVictimRepresentatives(t *testing.T) {
+	culprit := PairResult{Kind: BugAtomicity, B: 9, BSig: "scsi_write(data)@server#0", BClass: "scsi_write(data)@server"}
+	brute := NewBugSet()
+	a := culprit
+	a.A, a.ASig = 3, "scsi_write(inode)@server#0"
+	brute.Add(a, "pfs", "fs", "p", "c")
+	b := culprit
+	b.A, b.ASig = 1, "scsi_write(log)@server#0"
+	brute.Add(b, "pfs", "fs", "p", "c")
+
+	pruned := NewBugSet()
+	pruned.Add(b, "pfs", "fs", "p", "c")
+
+	bk, pk := brute.Bugs()[0].CauseKey(), pruned.Bugs()[0].CauseKey()
+	if bk != pk {
+		t.Fatalf("cause identity depends on classified states: brute %q vs pruned %q", bk, pk)
+	}
+	// In-flight groups key on the parent op, not the representative pair.
+	inflight := NewBugSet()
+	pr := PairResult{Kind: BugAtomicity, A: 1, B: 2, ASig: "append(x)@s#1", BSig: "append(x)@s#0",
+		BClass: "append(x)@s", GroupKey: "inflight|op-a"}
+	inflight.Add(pr, "pfs", "fs", "p", "c")
+	if got := inflight.Bugs()[0].CauseKey(); got != "atomicity|pfs|inflight|op-a" {
+		t.Fatalf("in-flight cause key = %q", got)
 	}
 }

@@ -1,6 +1,8 @@
 package paracrash
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -171,6 +173,20 @@ type InconsistentState struct {
 	Layer       string // "pfs" or the library name
 	Victims     []string
 	Consequence string
+	// Key is a stable digest of the recovered state's canonical content at
+	// the failing layer — the dedup identity of the state. It depends only
+	// on reconstruction (trace + persistence subset), never on the
+	// consistency model judging it, so reports produced under different
+	// models can be compared state-by-state: that is the basis of the fuzz
+	// campaign's model-lattice oracle.
+	Key string
+}
+
+// StateDigest condenses a recovered state's canonical content into the
+// short stable identity used by InconsistentState.Key.
+func StateDigest(layer, content string) string {
+	sum := sha256.Sum256([]byte(content))
+	return layer + ":" + hex.EncodeToString(sum[:8])
 }
 
 // Report is the outcome of testing one workload against one file system.
@@ -453,6 +469,7 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 			}
 			report.States = append(report.States, InconsistentState{
 				Layer: res.layer, Victims: victims, Consequence: res.consequence,
+				Key: StateDigest(res.layer, res.state),
 			})
 		}
 		lo := s.pfsOps

@@ -1,0 +1,42 @@
+package paracrash
+
+import (
+	"testing"
+)
+
+// FuzzParseModel hammers the consistency-model parser: it must never
+// panic, must reject everything but the four canonical names, and every
+// accepted name must round-trip through String and MarshalJSON — the
+// property configuration files and the fuzz-campaign corpus format rely
+// on.
+func FuzzParseModel(f *testing.F) {
+	for _, s := range []string{
+		"strict", "commit", "causal", "baseline",
+		"", "Strict", "causal ", "model(7)", "commit\x00", "baselinee",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseModel(s)
+		if err != nil {
+			// Rejected input: the error must name the offending string and
+			// the zero model must still render.
+			_ = Model(0).String()
+			return
+		}
+		if m.String() != s {
+			t.Fatalf("ParseModel(%q) = %v, but String() = %q", s, m, m.String())
+		}
+		back, err := ParseModel(m.String())
+		if err != nil || back != m {
+			t.Fatalf("model %v does not round-trip: %v, %v", m, back, err)
+		}
+		j, err := m.MarshalJSON()
+		if err != nil {
+			t.Fatalf("MarshalJSON(%v): %v", m, err)
+		}
+		if string(j) != `"`+s+`"` {
+			t.Fatalf("MarshalJSON(%v) = %s, want %q", m, j, s)
+		}
+	})
+}

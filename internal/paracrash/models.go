@@ -67,6 +67,12 @@ func (m Model) String() string {
 	}
 }
 
+// MarshalJSON renders the model by name (machine-readable reports and the
+// fuzz-campaign corpus files).
+func (m Model) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + m.String() + `"`), nil
+}
+
 // ParseModel parses a model name.
 func ParseModel(s string) (Model, error) {
 	switch s {

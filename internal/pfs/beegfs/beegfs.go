@@ -444,12 +444,33 @@ func (c *client) Rename(from, to string) error {
 		m := f.meta(dst.owner)
 		idfile := "/inodes/" + fr.fid
 		dstDentry := fmt.Sprintf("/dentries/%s/%s", dst.id, toName)
+		if oldFid != "" {
+			// POSIX overwrite: the replaced file's dentry and idfile go
+			// first (the link below cannot take over an existing dentry),
+			// then its chunks after the new dentry is in place — so the
+			// destination name, like the same-owner path, is never resolvable
+			// to a third file but can transiently disappear.
+			err2 = firstErr(err2, m.Do(f.Rec, vfs.Op{Kind: vfs.OpUnlink, Path: dstDentry}, oldFid, "dentry"))
+			err2 = firstErr(err2, m.Do(f.Rec, vfs.Op{Kind: vfs.OpUnlink, Path: "/inodes/" + oldFid}, oldFid, "idfile"))
+		}
 		err2 = firstErr(err2, m.Do(f.Rec, vfs.Op{Kind: vfs.OpCreate, Path: idfile}, fr.fid, "idfile"))
 		err2 = firstErr(err2, m.Do(f.Rec, vfs.Op{Kind: vfs.OpSetXattr, Path: idfile, Name: "t", Value: []byte("f")}, fr.fid, "idfile"))
 		err2 = firstErr(err2, m.Do(f.Rec, vfs.Op{Kind: vfs.OpSetXattr, Path: idfile, Name: "id", Value: []byte(fr.fid)}, fr.fid, "idfile"))
 		err2 = firstErr(err2, m.Do(f.Rec, vfs.Op{Kind: vfs.OpSetXattr, Path: idfile, Name: "base", Value: []byte(strconv.Itoa(fr.base))}, fr.fid, "idfile"))
 		err2 = firstErr(err2, m.Do(f.Rec, vfs.Op{Kind: vfs.OpLink, Path: idfile, Path2: dstDentry}, fr.fid, "dentry"))
 		err2 = firstErr(err2, m.Do(f.Rec, vfs.Op{Kind: vfs.OpSetXattr, Path: "/inodes/" + dst.id, Name: "mtime", Value: []byte(fr.fid)}, dst.id, "dir_inode"))
+		if oldFid != "" {
+			for i := 0; i < f.conf.StorageServers; i++ {
+				srv := i
+				if !f.storage(srv).FS.Exists("/chunks/" + oldFid) {
+					continue
+				}
+				f.ServerRPC(f.metaProc(dst.owner), f.storageProc(srv), func() {
+					s := f.storage(srv)
+					err2 = firstErr(err2, s.Do(f.Rec, vfs.Op{Kind: vfs.OpUnlink, Path: "/chunks/" + oldFid}, oldFid, "chunk"))
+				})
+			}
+		}
 	})
 	f.RPC(c.proc, f.metaProc(fr.dir.owner), func() {
 		m := f.meta(fr.dir.owner)

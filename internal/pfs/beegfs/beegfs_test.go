@@ -274,3 +274,55 @@ func TestFsckDropsNegativeOwner(t *testing.T) {
 		t.Fatal("fsck kept the dentry with the negative owner")
 	}
 }
+
+func TestCrossOwnerRenameReplacesExistingTarget(t *testing.T) {
+	// POSIX rename overwrites an existing destination; the cross-owner path
+	// used to fail with "link: exists" because it linked the new dentry in
+	// without removing the replaced file (found by the fuzz campaign's
+	// generator conformance matrix).
+	f := newFS(t)
+	c := f.Client(0)
+	for _, d := range []string{"/d0", "/d1"} {
+		if err := c.Mkdir(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := f.resolveDir("/d0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := f.resolveDir("/d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.owner == dst.owner {
+		t.Fatalf("fixture: both directories owned by meta %d, need a cross-owner pair", src.owner)
+	}
+	for p, data := range map[string]string{"/d0/src": "source-bytes", "/d1/dst": "old-target"} {
+		if err := c.Create(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WriteAt(p, 0, []byte(data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldDst, err := f.resolveFile("/d1/dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("/d0/src", "/d1/dst"); err != nil {
+		t.Fatalf("cross-owner rename over existing target: %v", err)
+	}
+	got, err := c.Read("/d1/dst")
+	if err != nil || string(got) != "source-bytes" {
+		t.Fatalf("destination after rename: %q, %v", got, err)
+	}
+	if _, err := f.resolveFile("/d0/src"); err == nil {
+		t.Fatal("source still resolvable after rename")
+	}
+	for i := 0; i < f.conf.StorageServers; i++ {
+		if f.storage(i).FS.Exists("/chunks/" + oldDst.fid) {
+			t.Fatal("replaced file's chunks not removed")
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"paracrash/internal/blockdev"
+	"paracrash/internal/vfs"
+)
+
+// FuzzTraceRoundTrip checks the trace codec's parse→format→parse identity:
+// any byte sequence Decode accepts must re-encode to a fixpoint — decoding
+// the encoded form and encoding again yields byte-identical JSON. Trace
+// files are the hand-off between the tracing stage and the checker, so a
+// non-idempotent codec would silently corrupt replays.
+func FuzzTraceRoundTrip(f *testing.F) {
+	// A representative trace: client ops, a communication pair, and both
+	// replayable payload kinds.
+	ops := []*Op{
+		{ID: 1, Layer: LayerPFS, Proc: "client/0", Name: "creat", Path: "/foo", FileID: "foo", Parent: -1},
+		{ID: 2, Layer: LayerPFS, Proc: "client/0", Name: "pwrite", Path: "/foo", Offset: 0, Size: 4, Data: []byte("data"), FileID: "foo", Parent: -1},
+		{ID: 3, Layer: LayerPFS, Proc: "client/0", Name: "send", MsgID: 1, IsSend: true, Parent: 2},
+		{ID: 4, Layer: LayerLocalFS, Proc: "storage/0", Name: "recv", MsgID: 1, Parent: 3},
+		{ID: 5, Layer: LayerLocalFS, Proc: "storage/0", Name: "pwrite", Path: "/chunk0", Tag: "chunk", Parent: 4,
+			Payload: vfs.Op{Kind: vfs.OpWrite, Path: "/chunk0", Data: []byte("data")}},
+		{ID: 6, Layer: LayerBlock, Proc: "server/0", Name: "scsi_write", Parent: -1,
+			Payload: blockdev.Op{Kind: blockdev.OpWrite, LBA: 128, Data: []byte("blk")}},
+		{ID: 7, Layer: LayerPFS, Proc: "client/0", Name: "fsync", Path: "/foo", Sync: true, DataSync: true, FileID: "foo", Parent: -1},
+	}
+	enc, err := Encode(ops)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	f.Add([]byte("[]"))
+	f.Add([]byte("null"))
+	f.Add([]byte(`[{"id":1,"layer":3,"proc":"client/0","name":"creat","parent":-1}]`))
+	f.Add([]byte(`[{"id":1,"pkind":"bogus"}]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		ops1, err := Decode(data)
+		if err != nil {
+			return // rejected inputs just need to fail cleanly
+		}
+		enc1, err := Encode(ops1)
+		if err != nil {
+			t.Fatalf("decoded trace failed to encode: %v", err)
+		}
+		ops2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("encoded trace failed to decode: %v", err)
+		}
+		if len(ops2) != len(ops1) {
+			t.Fatalf("round trip changed op count: %d -> %d", len(ops1), len(ops2))
+		}
+		enc2, err := Encode(ops2)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("parse->format->parse is not identity:\n%s\nvs\n%s", enc1, enc2)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"fmt"
+)
+
+// EnumConfig bounds the systematic workload enumeration (B3-style bounded
+// black-box testing: every valid op sequence up to a small length over a
+// tiny namespace, instead of random sampling).
+type EnumConfig struct {
+	// MaxOps is the maximum body length; every valid sequence of length
+	// 1..MaxOps is produced. Clamped to [1, 3] — the sequence count is
+	// exponential in MaxOps, and crash-state exploration of each program is
+	// itself exponential in its trace.
+	MaxOps int
+	// Files is the namespace size (clamped to [1, 3]). File f0 pre-exists
+	// with content; the rest start absent, so sequences cover creation,
+	// mutation and deletion from both initial conditions.
+	Files int
+	// WithFsync includes fsync ops in the vocabulary.
+	WithFsync bool
+}
+
+// DefaultEnumConfig is the campaign's default: every 1- and 2-op program
+// over two files.
+func DefaultEnumConfig() EnumConfig {
+	return EnumConfig{MaxOps: 2, Files: 2, WithFsync: true}
+}
+
+func (cfg EnumConfig) clamp() EnumConfig {
+	if cfg.MaxOps < 1 {
+		cfg.MaxOps = 1
+	}
+	if cfg.MaxOps > 3 {
+		cfg.MaxOps = 3
+	}
+	if cfg.Files < 1 {
+		cfg.Files = 1
+	}
+	if cfg.Files > 3 {
+		cfg.Files = 3
+	}
+	return cfg
+}
+
+// enumPayload is the fixed write payload: enumeration varies structure, not
+// data, so one body is enough (the checker compares content, any content).
+func enumPayload() []byte { return []byte("enumerated-payload-0123") }
+
+// Enumerate produces every valid op sequence allowed by cfg, in a fixed
+// deterministic order, invoking yield for each until it returns false.
+// Validity is tracked against the namespace model (no write to a missing
+// file, no create over an existing one), so every enumerated program runs
+// cleanly. Returns the number of programs yielded.
+func Enumerate(cfg EnumConfig, yield func(*Program) bool) int {
+	cfg = cfg.clamp()
+	names := make([]string, cfg.Files)
+	for i := range names {
+		names[i] = fmt.Sprintf("/f%d", i)
+	}
+	// f0 pre-exists with content; the others start absent.
+	pre := []Op{
+		{Kind: OpCreat, Path: names[0]},
+		{Kind: OpPwrite, Path: names[0], Data: enumPayload()},
+		{Kind: OpClose, Path: names[0]},
+	}
+	initial := map[string]bool{names[0]: true}
+
+	count := 0
+	stopped := false
+	idx := 0
+
+	// candidates returns every op valid in the given namespace state, in a
+	// fixed vocabulary order.
+	candidates := func(exists map[string]bool) []Op {
+		var out []Op
+		for _, p := range names {
+			if !exists[p] {
+				out = append(out, Op{Kind: OpCreat, Path: p})
+			}
+		}
+		for _, p := range names {
+			if exists[p] {
+				out = append(out, Op{Kind: OpPwrite, Path: p, Data: enumPayload()})
+				out = append(out, Op{Kind: OpAppend, Path: p, Data: enumPayload()})
+			}
+		}
+		for _, src := range names {
+			if !exists[src] {
+				continue
+			}
+			for _, dst := range names {
+				if dst != src {
+					out = append(out, Op{Kind: OpRename, Path: src, Path2: dst})
+				}
+			}
+		}
+		for _, p := range names {
+			if exists[p] {
+				out = append(out, Op{Kind: OpUnlink, Path: p})
+			}
+		}
+		if cfg.WithFsync {
+			for _, p := range names {
+				if exists[p] {
+					out = append(out, Op{Kind: OpFsync, Path: p})
+				}
+			}
+		}
+		return out
+	}
+
+	var rec func(body []Op, exists map[string]bool)
+	rec = func(body []Op, exists map[string]bool) {
+		if stopped {
+			return
+		}
+		if len(body) > 0 {
+			prog := NewProgram(fmt.Sprintf("enum-%d", idx), pre, append([]Op(nil), body...))
+			idx++
+			count++
+			if !yield(prog) {
+				stopped = true
+				return
+			}
+		}
+		if len(body) == cfg.MaxOps {
+			return
+		}
+		for _, op := range candidates(exists) {
+			next := map[string]bool{}
+			for k, v := range exists {
+				next[k] = v
+			}
+			switch op.Kind {
+			case OpCreat:
+				next[op.Path] = true
+			case OpRename:
+				delete(next, op.Path)
+				next[op.Path2] = true
+			case OpUnlink:
+				delete(next, op.Path)
+			}
+			rec(append(body, op), next)
+			if stopped {
+				return
+			}
+		}
+	}
+	rec(nil, initial)
+	return count
+}

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"strings"
 	"testing"
 
 	"paracrash/internal/paracrash"
@@ -11,14 +12,92 @@ import (
 )
 
 func TestGenerateIsDeterministic(t *testing.T) {
-	a := Generate(DefaultGenConfig(42)).(*genProgram)
-	b := Generate(DefaultGenConfig(42)).(*genProgram)
+	a := Generate(DefaultGenConfig(42))
+	b := Generate(DefaultGenConfig(42))
 	if a.Script() != b.Script() {
 		t.Fatalf("same seed, different programs:\n%s\nvs\n%s", a.Script(), b.Script())
 	}
-	c := Generate(DefaultGenConfig(43)).(*genProgram)
+	c := Generate(DefaultGenConfig(43))
 	if a.Script() == c.Script() {
 		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+func TestGenConfigClamp(t *testing.T) {
+	// Out-of-range shapes are clamped, not silently accepted: the effective
+	// config is visible through Clamp and the generated body obeys it.
+	cases := []struct {
+		name    string
+		in      GenConfig
+		ops     int
+		files   int
+		dirs    int
+		maxBody int
+	}{
+		{"zero value", GenConfig{Seed: 1}, 8, 3, 0, 8},
+		{"oversized ops", GenConfig{Seed: 1, Ops: 999, Files: 2}, MaxGenOps, 2, 0, MaxGenOps},
+		{"negative dirs", GenConfig{Seed: 1, Ops: 4, Files: 2, Dirs: -7}, 4, 2, 0, 4},
+		{"oversized everything", GenConfig{Seed: 1, Ops: 99, Files: 99, Dirs: 99}, MaxGenOps, MaxGenFiles, MaxGenDirs, MaxGenOps},
+	}
+	for _, tc := range cases {
+		got := tc.in.Clamp()
+		if got.Ops != tc.ops || got.Files != tc.files || got.Dirs != tc.dirs {
+			t.Errorf("%s: Clamp() = ops=%d files=%d dirs=%d, want ops=%d files=%d dirs=%d",
+				tc.name, got.Ops, got.Files, got.Dirs, tc.ops, tc.files, tc.dirs)
+		}
+		w := Generate(tc.in)
+		if n := len(w.Body()); n != tc.maxBody {
+			t.Errorf("%s: generated body has %d ops, want %d", tc.name, n, tc.maxBody)
+		}
+		// Clamped programs must still run cleanly.
+		conf := pfs.DefaultConfig()
+		conf.MetaServers = 0
+		conf.StorageServers = 1
+		fs := extfs.New(conf, trace.NewRecorder())
+		if err := w.Preamble(fs); err != nil {
+			t.Errorf("%s: preamble: %v", tc.name, err)
+		} else if err := w.Run(fs); err != nil {
+			t.Errorf("%s: run: %v\n%s", tc.name, err, w.Script())
+		}
+	}
+}
+
+func TestGenerateExistingPicksOnlyLiveFiles(t *testing.T) {
+	// Regression for the existing() helper: every body op that requires its
+	// target to exist must be generated against a live file — replaying the
+	// body in namespace-model order never references a dead path.
+	for seed := int64(0); seed < 40; seed++ {
+		w := Generate(DefaultGenConfig(seed))
+		exists := map[string]bool{}
+		for _, op := range w.PreambleOps() {
+			if op.Kind == OpCreat {
+				exists[op.Path] = true
+			}
+		}
+		for i, op := range w.Body() {
+			switch op.Kind {
+			case OpCreat:
+				if exists[op.Path] {
+					t.Fatalf("seed %d op %d: creat over existing %s", seed, i, op.Path)
+				}
+				exists[op.Path] = true
+			case OpPwrite, OpAppend, OpFsync, OpClose:
+				if !exists[op.Path] {
+					t.Fatalf("seed %d op %d: %s on missing %s\n%s", seed, i, op.Kind, op.Path, w.Script())
+				}
+			case OpRename:
+				if !exists[op.Path] {
+					t.Fatalf("seed %d op %d: rename of missing %s", seed, i, op.Path)
+				}
+				delete(exists, op.Path)
+				exists[op.Path2] = true
+			case OpUnlink:
+				if !exists[op.Path] {
+					t.Fatalf("seed %d op %d: unlink of missing %s", seed, i, op.Path)
+				}
+				delete(exists, op.Path)
+			}
+		}
 	}
 }
 
@@ -35,7 +114,7 @@ func TestGeneratedProgramsRunCleanly(t *testing.T) {
 			t.Fatalf("seed %d preamble: %v", seed, err)
 		}
 		if err := w.Run(fs); err != nil {
-			t.Fatalf("seed %d run: %v\n%s", seed, err, w.(*genProgram).Script())
+			t.Fatalf("seed %d run: %v\n%s", seed, err, w.Script())
 		}
 	}
 }
@@ -55,7 +134,7 @@ func TestGeneratedProgramsOnExt4AreConsistent(t *testing.T) {
 		}
 		if rep.Inconsistent != 0 {
 			t.Errorf("seed %d: %d inconsistent states on ext4:\n%s",
-				seed, rep.Inconsistent, w.(*genProgram).Script())
+				seed, rep.Inconsistent, w.Script())
 		}
 	}
 }
@@ -78,5 +157,18 @@ func TestGeneratedProgramsFindBeeGFSBugs(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("no generated program exposed a BeeGFS bug across 12 seeds")
+	}
+}
+
+func TestProgramScriptRoundTrip(t *testing.T) {
+	// NewProgram over the accessor slices reproduces the workload exactly —
+	// the property corpus replay rests on.
+	orig := Generate(DefaultGenConfig(7))
+	clone := NewProgram(orig.Name(), orig.PreambleOps(), orig.Body())
+	if clone.Script() != orig.Script() {
+		t.Fatal("NewProgram round trip changed the script")
+	}
+	if !strings.Contains(orig.Script(), "(") {
+		t.Fatal("script rendering looks empty")
 	}
 }
