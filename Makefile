@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck test race ci bench gobench experiments examples fuzz fuzz-smoke clean
+.PHONY: all build vet fmtcheck doclint test race ci bench gobench experiments examples fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -20,6 +20,11 @@ fmtcheck:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
+# Fail when any package misses a package comment or any exported
+# identifier is undocumented (the godoc coverage gate).
+doclint:
+	$(GO) run ./internal/tools/doclint .
+
 test:
 	$(GO) test ./...
 
@@ -27,7 +32,7 @@ race:
 	$(GO) test -race ./...
 
 # Everything a change must pass before it lands.
-ci: build vet fmtcheck test race fuzz-smoke
+ci: build vet fmtcheck doclint test race fuzz-smoke
 
 # Run the benchmark trajectory with observability enabled and write the
 # per-run summary (phase timings, counters, Stats) as BENCH_<stamp>.json.

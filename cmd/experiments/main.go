@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,6 +49,17 @@ func main() {
 	fuzzBackends := flag.String("fuzz-backends", "", "fuzz: comma-separated backends (default: all six)")
 	fuzzProgress := flag.Bool("progress", false, "fuzz: stream live progress to stderr")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *fuzzSeeds < 0 {
+		fatal(fmt.Errorf("-seeds must be >= 0, got %d", *fuzzSeeds))
+	}
+	if *fuzzEnumOps < 0 {
+		fatal(fmt.Errorf("-enum-ops must be >= 0, got %d", *fuzzEnumOps))
+	}
 
 	h5p := workloads.DefaultH5Params()
 	run := func(name string) {
@@ -62,12 +74,9 @@ func main() {
 		case "fig10":
 			fmt.Println(exps.FormatFig10(exps.Fig10(h5p)))
 		case "fig11":
-			var counts []int
-			for _, s := range strings.Split(*servers, ",") {
-				var n int
-				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err == nil && n > 1 {
-					counts = append(counts, n)
-				}
+			counts, err := parseServerCounts(*servers)
+			if err != nil {
+				fatal(fmt.Errorf("-servers: %w", err))
 			}
 			fmt.Println(exps.FormatFig11(exps.Fig11(counts, h5p)))
 		case "table3":
@@ -172,4 +181,33 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// parseServerCounts parses fig11's comma-separated server counts. Every
+// field must be an integer >= 2 (the clusters need more than one
+// server); a malformed field is an error rather than a silent skip.
+func parseServerCounts(s string) ([]int, error) {
+	var counts []int
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			return nil, fmt.Errorf("empty server count in %q", s)
+		}
+		n, err := strconv.Atoi(field)
+		if err != nil {
+			return nil, fmt.Errorf("bad server count %q (want an integer >= 2)", field)
+		}
+		if n < 2 {
+			return nil, fmt.Errorf("server count %d out of range (want >= 2)", n)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+// fatal prints a flag-validation or runtime error to stderr and exits
+// non-zero, matching the other CLIs' behaviour.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(2)
 }

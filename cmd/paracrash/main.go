@@ -21,6 +21,7 @@ import (
 	"paracrash/internal/exps"
 	"paracrash/internal/obs"
 	core "paracrash/internal/paracrash"
+	"paracrash/internal/serve"
 	"paracrash/internal/workloads"
 )
 
@@ -45,6 +46,8 @@ func main() {
 		dumpPath = flag.String("dump-trace", "", "write the traced execution as JSON to this file instead of testing")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
 
+		remote = flag.String("remote", "", "submit the run as a job to a paracrashd at this address (e.g. localhost:7077) instead of exploring locally")
+
 		metricsPath = flag.String("metrics", "", "write the run's observability summary (phase timings, counters, gauges) as JSON to this file")
 		progress    = flag.Bool("progress", false, "print a one-line progress ticker to stderr every second")
 		progJSONL   = flag.String("progress-jsonl", "", "write machine-readable progress events (one JSON object per line) to this file")
@@ -52,11 +55,25 @@ func main() {
 	)
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "paracrash: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *workers < 0 {
 		fatalIf(fmt.Errorf("-workers must be >= 0 (0 = one per CPU, 1 = serial), got %d", *workers))
 	}
 	if *k < 1 {
 		fatalIf(fmt.Errorf("-k must be >= 1 (victims per crash front), got %d", *k))
+	}
+	if *servers < 0 {
+		fatalIf(fmt.Errorf("-servers must be >= 0 (0 = paper default), got %d", *servers))
+	}
+	if *stripe < 0 {
+		fatalIf(fmt.Errorf("-stripe must be >= 0 (0 = default), got %d", *stripe))
+	}
+	if *clients < 1 {
+		fatalIf(fmt.Errorf("-clients must be >= 1, got %d", *clients))
 	}
 
 	if *list {
@@ -72,6 +89,20 @@ func main() {
 
 	prog, err := exps.ProgramByName(*progName)
 	fatalIf(err)
+
+	if *remote != "" {
+		if *dumpPath != "" || *servers > 0 || *stripe > 0 {
+			fatalIf(fmt.Errorf("-dump-trace, -servers and -stripe are local-only and cannot combine with -remote"))
+		}
+		os.Exit(runRemote(*remote, serve.JobRequest{
+			Kind: serve.JobKindExplore,
+			FS:   *fsName, Program: *progName, Mode: *mode,
+			PFSModel: *pfsModel, LibModel: *libModel,
+			K: *k, Workers: *workers,
+			Clients: *clients, Rows: *rows, Cols: *cols,
+			ResizeRows: *rrows, ResizeCols: *rcols,
+		}, *jsonOut, *verbose))
+	}
 
 	opts := core.DefaultOptions()
 	opts.Emulator.K = *k

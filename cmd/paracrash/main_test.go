@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain doubles the test binary as the CLI when the re-exec marker is
+// set, so flag-validation behaviour (stderr output, exit codes) can be
+// tested without building a separate binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("PARACRASH_CLI_UNDER_TEST") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI re-executes the test binary as the paracrash CLI with args and
+// returns its exit code and combined stderr.
+func runCLI(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "PARACRASH_CLI_UNDER_TEST=1")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if exitErr, ok := err.(*exec.ExitError); ok {
+		code = exitErr.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running CLI: %v", err)
+	}
+	return code, stderr.String()
+}
+
+// TestCLIFlagValidation checks that every invalid knob reaches stderr
+// with a non-zero exit.
+func TestCLIFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantMsg string
+	}{
+		{"negative workers", []string{"-workers", "-1"}, "-workers must be >= 0"},
+		{"zero k", []string{"-k", "0"}, "-k must be >= 1"},
+		{"negative servers", []string{"-servers", "-4"}, "-servers must be >= 0"},
+		{"negative stripe", []string{"-stripe", "-8"}, "-stripe must be >= 0"},
+		{"zero clients", []string{"-clients", "0"}, "-clients must be >= 1"},
+		{"unknown program", []string{"-program", "NOPE"}, "unknown program"},
+		{"unknown mode", []string{"-fs", "ext4", "-program", "CR", "-mode", "bogus"}, "unknown mode"},
+		{"unknown model", []string{"-fs", "ext4", "-program", "CR", "-pfs-model", "bogus"}, "unknown"},
+		{"unknown flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
+		{"positional args", []string{"stray", "args"}, "unexpected arguments"},
+		{"remote with local-only flag", []string{"-remote", "localhost:1", "-servers", "8"}, "local-only"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := runCLI(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("exit code 0, want non-zero; stderr: %s", stderr)
+			}
+			if !strings.Contains(stderr, tc.wantMsg) {
+				t.Fatalf("stderr %q does not contain %q", stderr, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestCLICleanRun keeps the zero-exit path honest: a valid local run on
+// the clean ext4/CR cell exits 0.
+func TestCLICleanRun(t *testing.T) {
+	code, stderr := runCLI(t, "-fs", "ext4", "-program", "CR")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0; stderr: %s", code, stderr)
+	}
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"paracrash/internal/serve"
+)
+
+// runRemote submits the request to a paracrashd instance, streams the
+// job's progress events to stderr, and prints the finished job's report —
+// the same output a local run would give. Returns the process exit code.
+func runRemote(addr string, req serve.JobRequest, jsonOut, verbose bool) int {
+	base := "http://" + addr
+	body, err := json.Marshal(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paracrash:", err)
+		return 2
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paracrash: submit:", err)
+		return 2
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fmt.Fprintf(os.Stderr, "paracrash: submit: %s: %s", resp.Status, msg)
+		return 2
+	}
+	var job serve.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		fmt.Fprintln(os.Stderr, "paracrash: submit response:", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "paracrash: submitted job %s to %s\n", job.ID, addr)
+
+	streamEvents(base, job.ID)
+
+	job, ok := waitTerminal(base, job.ID)
+	if !ok {
+		return 2
+	}
+	switch job.State {
+	case serve.JobDone:
+	case serve.JobCanceled:
+		fmt.Fprintf(os.Stderr, "paracrash: job %s canceled: %s\n", job.ID, job.Error)
+		return 2
+	default:
+		fmt.Fprintf(os.Stderr, "paracrash: job %s failed: %s\n", job.ID, job.Error)
+		return 2
+	}
+
+	if job.Fuzz != nil {
+		fmt.Print(job.Fuzz.Summary)
+		if !job.Fuzz.OK {
+			return 1
+		}
+		return 0
+	}
+	rep := job.Report
+	if rep == nil {
+		fmt.Fprintf(os.Stderr, "paracrash: job %s finished without a report\n", job.ID)
+		return 2
+	}
+	if jsonOut {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paracrash:", err)
+			return 2
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Print(rep.Format())
+		if verbose {
+			for i, st := range rep.States {
+				fmt.Printf("state %d [%s]: victims=%v\n  %s\n", i+1, st.Layer, st.Victims, st.Consequence)
+			}
+		}
+	}
+	if len(rep.Bugs) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// streamEvents relays the job's NDJSON progress stream to stderr until the
+// daemon closes it (the job reached a terminal state). Stream errors are
+// non-fatal: the result poll below is the source of truth.
+func streamEvents(base, id string) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paracrash: event stream:", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fmt.Fprintf(os.Stderr, "paracrash: %s\n", sc.Bytes())
+	}
+}
+
+// waitTerminal polls the job until it reaches a terminal state.
+func waitTerminal(base, id string) (serve.Job, bool) {
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paracrash: poll:", err)
+			return serve.Job{}, false
+		}
+		var job serve.Job
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paracrash: poll:", err)
+			return serve.Job{}, false
+		}
+		if job.State.Terminal() {
+			return job, true
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}

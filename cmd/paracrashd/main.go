@@ -1,0 +1,105 @@
+// Command paracrashd runs the ParaCrash checker as a service: an HTTP API
+// accepting exploration and fuzz-campaign jobs, a bounded scheduler
+// executing them with per-job timeouts and cancellation, and a results
+// directory where completed jobs persist as versioned JSON across
+// restarts.
+//
+// Usage:
+//
+//	paracrashd -addr localhost:7077 -results ./results
+//	curl -X POST localhost:7077/v1/jobs -d '{"fs":"beegfs","program":"ARVR"}'
+//	curl localhost:7077/v1/jobs/<id>
+//	curl -N localhost:7077/v1/jobs/<id>/events
+//
+// On SIGINT/SIGTERM the daemon drains: new submissions are rejected with
+// 503 while in-flight jobs run to completion (bounded by -drain-timeout,
+// after which they are cancelled), then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"paracrash/internal/obs"
+	"paracrash/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:7077", "HTTP listen address")
+		resultsDir   = flag.String("results", "", "directory for persisted job results (empty = in-memory only)")
+		maxJobs      = flag.Int("max-jobs", 2, "jobs running concurrently")
+		queueDepth   = flag.Int("queue-depth", 16, "queued jobs before submissions get 429")
+		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "default per-job timeout (0 = none)")
+		maxTimeout   = flag.Duration("max-job-timeout", time.Hour, "cap on any job's timeout (0 = no cap)")
+		maxWorkers   = flag.Int("max-job-workers", 0, "cap on one job's exploration workers (0 = no cap)")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs before cancelling them")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "paracrashd: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *maxJobs < 1 || *queueDepth < 1 {
+		fatalf("-max-jobs and -queue-depth must be >= 1 (got %d, %d)", *maxJobs, *queueDepth)
+	}
+	if *jobTimeout < 0 || *maxTimeout < 0 || *drainTimeout < 0 {
+		fatalf("timeouts must be >= 0")
+	}
+
+	store, warns := serve.OpenStore(*resultsDir)
+	for _, w := range warns {
+		fmt.Fprintln(os.Stderr, "paracrashd: warning:", w)
+	}
+
+	run := obs.NewRun()
+	sched := serve.NewScheduler(serve.SchedulerConfig{
+		MaxConcurrent:  *maxJobs,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *jobTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxJobWorkers:  *maxWorkers,
+	}, store, run)
+	sched.Start()
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(sched, store, run)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	loaded := len(store.List())
+	fmt.Fprintf(os.Stderr, "paracrashd: listening on %s (results=%q, %d persisted jobs loaded, %d slots, queue %d)\n",
+		*addr, *resultsDir, loaded, *maxJobs, *queueDepth)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "paracrashd: %v: draining (up to %v)\n", sig, *drainTimeout)
+	case err := <-errc:
+		fatalf("serve: %v", err)
+	}
+
+	// Drain first — the HTTP listener stays up so status queries and event
+	// streams keep working while in-flight jobs finish — then shut down.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := sched.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "paracrashd: drain expired, in-flight jobs cancelled: %v\n", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = srv.Shutdown(shutCtx)
+	fmt.Fprintln(os.Stderr, "paracrashd: stopped")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "paracrashd: "+format+"\n", args...)
+	os.Exit(2)
+}

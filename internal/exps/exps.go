@@ -5,6 +5,7 @@
 package exps
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -125,6 +126,12 @@ func ProgramByName(name string) (Program, error) {
 // Placement hints do not apply to GlusterFS: its striped volume always
 // places the first stripe on the first brick.
 func RunOne(fsName string, prog Program, opts paracrash.Options, h5p workloads.H5Params, conf pfs.Config) (*paracrash.Report, error) {
+	return RunOneContext(context.Background(), fsName, prog, opts, h5p, conf)
+}
+
+// RunOneContext is RunOne with cancellation, for callers that bound a
+// cell's wall time (the job daemon's per-job timeouts).
+func RunOneContext(ctx context.Context, fsName string, prog Program, opts paracrash.Options, h5p workloads.H5Params, conf pfs.Config) (*paracrash.Report, error) {
 	placement := prog.Placement
 	if fsName == "glusterfs" {
 		placement = prog.GlusterPlacement
@@ -142,7 +149,7 @@ func RunOne(fsName string, prog Program, opts paracrash.Options, h5p workloads.H
 		return nil, err
 	}
 	w, lib := prog.Make(h5p)
-	return paracrash.Run(fs, lib, w, opts)
+	return paracrash.RunContext(ctx, fs, lib, w, opts)
 }
 
 // Cell is one Figure 8 matrix entry.

@@ -1,6 +1,7 @@
 package fuzzcamp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -109,12 +110,15 @@ type Result struct {
 	// Errors records cells whose explorer runs failed outright.
 	Errors   []string
 	TimedOut bool
+	// Canceled reports that the campaign's context was cancelled before
+	// every cell ran (daemon shutdown, job timeout).
+	Canceled bool
 	Elapsed  time.Duration
 }
 
 // OK reports a fully green campaign: every cell ran and no oracle fired.
 func (r *Result) OK() bool {
-	return len(r.Violations) == 0 && len(r.Errors) == 0 && !r.TimedOut
+	return len(r.Violations) == 0 && len(r.Errors) == 0 && !r.TimedOut && !r.Canceled
 }
 
 // oracleOrder fixes the per-oracle summary line order.
@@ -143,7 +147,14 @@ func (r *Result) Format() string {
 		fmt.Fprintf(&b, "duplicates suppressed: %d\n", r.Duplicates)
 	}
 	if r.CellsSkipped > 0 {
-		fmt.Fprintf(&b, "cells skipped (time budget): %d\n", r.CellsSkipped)
+		reason := "time budget"
+		if r.Canceled {
+			reason = "time budget or cancellation"
+		}
+		fmt.Fprintf(&b, "cells skipped (%s): %d\n", reason, r.CellsSkipped)
+	}
+	if r.Canceled {
+		b.WriteString("campaign cancelled before completion\n")
 	}
 	for i, v := range r.Violations {
 		fmt.Fprintf(&b, "[%d] %s oracle on %s (workload %s)\n    %s\n", i+1, v.Oracle, v.Backend, v.Workload, v.Detail)
@@ -164,6 +175,9 @@ func (r *Result) Format() string {
 // campaign is the per-run state shared by cell evaluation.
 type campaign struct {
 	cfg *Config
+	// ctx is the campaign's cancellation signal, threaded into every
+	// explorer invocation.
+	ctx context.Context
 	// nruns counts explorer invocations independently of obs, which may be
 	// nil (its Counter handles are then no-ops).
 	nruns atomic.Int64
@@ -187,7 +201,7 @@ func (c *campaign) explore(backend string, w paracrash.Workload, mode paracrash.
 	opts.LibModel = model
 	opts.Workers = workers
 	opts.Obs = c.obs
-	return paracrash.Run(fs, nil, w, opts)
+	return paracrash.RunContext(c.ctx, fs, nil, w, opts)
 }
 
 // runsClean executes the program (preamble + body, untraced) on a fresh
@@ -205,6 +219,17 @@ func (c *campaign) runsClean(backend string, p *workloads.Program) bool {
 // concurrently, then dedupe, minimize and persist violations in a
 // deterministic serial pass.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, cells not
+// yet started are skipped, in-flight explorer runs stop at their next
+// crash-state boundary, minimization is bypassed, and the result is
+// marked Canceled.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	run := cfg.Obs
@@ -212,7 +237,7 @@ func Run(cfg Config) (*Result, error) {
 	defer stopCampaign()
 
 	progs := cfg.workloadList()
-	c := &campaign{cfg: &cfg, runs: run.Counter("campaign/explorer-runs"), obs: run}
+	c := &campaign{cfg: &cfg, ctx: ctx, runs: run.Counter("campaign/explorer-runs"), obs: run}
 	ctrCells := run.Counter("campaign/cells")
 	ctrViol := run.Counter("campaign/violations")
 	run.Gauge("campaign/workloads").Set(int64(len(progs)))
@@ -235,14 +260,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	var (
-		mu      sync.Mutex
-		wg      sync.WaitGroup
-		skipped int
-		found   = map[int][]*pending{}
-		errs    = map[int]string{}
+		mu          sync.Mutex
+		wg          sync.WaitGroup
+		skipped     int
+		cancelSkips int
+		found       = map[int][]*pending{}
+		errs        = map[int]string{}
 	)
 	sem := make(chan struct{}, cfg.Workers)
 	for i, cl := range cells {
+		if ctx.Err() != nil {
+			cancelSkips++
+			continue
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			skipped++
 			continue
@@ -256,7 +286,9 @@ func Run(cfg Config) (*Result, error) {
 			ctrCells.Inc()
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil {
+			// A cell aborted by campaign cancellation is not an engine
+			// failure; it is accounted under Canceled instead.
+			if err != nil && ctx.Err() == nil {
 				errs[i] = fmt.Sprintf("%s on %s: %v", cl.prog.Name(), cl.backend, err)
 			}
 			if len(vs) > 0 {
@@ -270,8 +302,9 @@ func Run(cfg Config) (*Result, error) {
 		Workloads:    len(progs),
 		Backends:     cfg.Backends,
 		Cells:        len(cells),
-		CellsSkipped: skipped,
+		CellsSkipped: skipped + cancelSkips,
 		TimedOut:     skipped > 0,
+		Canceled:     ctx.Err() != nil,
 	}
 	var errIdx []int
 	for i := range errs {
@@ -295,7 +328,9 @@ func Run(cfg Config) (*Result, error) {
 			v.Preamble = append([]workloads.Op(nil), cells[i].prog.PreambleOps()...)
 			body := cells[i].prog.Body()
 			v.MinimizedFrom = len(body)
-			if p.pred != nil {
+			// Minimization re-runs the explorer many times; on a cancelled
+			// campaign the un-minimized body is reported as-is.
+			if p.pred != nil && ctx.Err() == nil {
 				stopMin := run.Phase(obs.PhaseMinimize)
 				body = Minimize(body, p.pred, cfg.MinimizeTests)
 				stopMin()

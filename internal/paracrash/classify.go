@@ -1,6 +1,7 @@
 package paracrash
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -40,6 +41,26 @@ func (k BugKind) String() string {
 // MarshalJSON renders the kind by name (for machine-readable reports).
 func (k BugKind) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the kind by name, inverting MarshalJSON so
+// persisted reports round-trip.
+func (k *BugKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "reordering":
+		*k = BugReordering
+	case "atomicity":
+		*k = BugAtomicity
+	case "unknown":
+		*k = BugUnknown
+	default:
+		return fmt.Errorf("paracrash: unknown bug kind %q", s)
+	}
+	return nil
 }
 
 // Bug is a deduplicated crash-consistency bug.

@@ -1,8 +1,10 @@
 package paracrash
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -79,6 +81,36 @@ func (m Mode) String() string {
 // MarshalJSON renders the mode by name.
 func (m Mode) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + m.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the mode by name, inverting MarshalJSON so
+// persisted reports round-trip.
+func (m *Mode) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseMode(s)
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
+}
+
+// ParseMode parses an exploration-strategy name ("brute" and "brute-force"
+// are synonyms).
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "brute", "brute-force":
+		return ModeBrute, nil
+	case "pruning":
+		return ModePruning, nil
+	case "optimized":
+		return ModeOptimized, nil
+	default:
+		return 0, fmt.Errorf("paracrash: unknown exploration mode %q", s)
+	}
 }
 
 // Options configures a testing run.
@@ -252,6 +284,10 @@ type session struct {
 	fs   pfs.FileSystem
 	lib  Library
 	opts Options
+	// ctx carries the run's cancellation signal; exploration loops poll it
+	// between crash states, never inside a state's reconstruction, so a
+	// cancelled run stops at a clean state boundary.
+	ctx context.Context
 
 	g       *causality.Graph
 	emu     *Emulator
@@ -324,6 +360,19 @@ func (s *session) chargeReplayed(n int) {
 // Run executes the full ParaCrash pipeline for a workload against a file
 // system (optionally topped by an I/O library) and returns the report.
 func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, error) {
+	return RunContext(context.Background(), fs, lib, w, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled (deadline,
+// timeout, caller shutdown) the exploration stops at the next crash-state
+// boundary, the live cluster is restored, and the run returns ctx's error.
+// Cancellation is strictly a stop signal — it never changes which states a
+// surviving run visits, so an uncancelled RunContext is byte-identical to
+// Run.
+func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	rec := fs.Recorder()
 	if oa, ok := fs.(pfs.ObsAware); ok {
@@ -359,6 +408,9 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 	rec.SetEnabled(false)
 	ops := rec.Ops()
 	stopTrace()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("paracrash: run cancelled: %w", err)
+	}
 
 	// Phase 2: causality analysis.
 	stopGraph := opts.Obs.Phase(obs.PhaseGraph)
@@ -367,7 +419,7 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 	emu.Obs = opts.Obs
 
 	s := &session{
-		fs: fs, lib: lib, opts: opts,
+		fs: fs, lib: lib, opts: opts, ctx: ctx,
 		g: g, emu: emu, initial: initial,
 		pfsOps:         NewLayerOps(g, trace.LayerPFS, nil),
 		clients:        map[string]pfs.Client{},
@@ -493,7 +545,7 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 		var states []CrashState
 		s.stats.StatesGenerated = emu.Generate(emuCfg, func(cs CrashState) bool {
 			states = append(states, cs)
-			return true
+			return ctx.Err() == nil
 		})
 		stopGen()
 		stopExplore := opts.Obs.Phase(obs.PhaseExplore)
@@ -504,6 +556,9 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 			s.runOptimized(states, skip, handle)
 		default:
 			for _, cs := range states {
+				if ctx.Err() != nil {
+					break
+				}
 				if !skip(cs) {
 					handle(cs)
 				}
@@ -516,6 +571,9 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 		// counters still break out enumeration volume).
 		stopExplore := opts.Obs.Phase(obs.PhaseExplore)
 		s.stats.StatesGenerated = emu.Generate(emuCfg, func(cs CrashState) bool {
+			if ctx.Err() != nil {
+				return false
+			}
 			if !skip(cs) {
 				handle(cs)
 			}
@@ -525,8 +583,12 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 	}
 	opts.Obs.Counter("states/generated").Add(int64(s.stats.StatesGenerated))
 
-	// Restore the live cluster to the untouched post-run state.
+	// Restore the live cluster to the untouched post-run state (also on
+	// cancellation, so a reused file system is never left mid-crash-state).
 	fs.Restore(initial)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("paracrash: run cancelled: %w", err)
+	}
 
 	report.Bugs = bugs.Bugs()
 	s.stats.Duration = time.Since(start)
@@ -837,6 +899,9 @@ func (s *session) runOptimized(states []CrashState, skip func(CrashState) bool, 
 	}
 
 	for _, idx := range order {
+		if s.ctx.Err() != nil {
+			return
+		}
 		cs := states[idx]
 		if skip(cs) {
 			continue

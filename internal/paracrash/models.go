@@ -17,6 +17,7 @@
 package paracrash
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -71,6 +72,21 @@ func (m Model) String() string {
 // fuzz-campaign corpus files).
 func (m Model) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + m.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the model by name, inverting MarshalJSON so
+// persisted reports round-trip.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseModel(s)
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
 }
 
 // ParseModel parses a model name.

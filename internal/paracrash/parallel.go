@@ -24,6 +24,7 @@
 package paracrash
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -36,13 +37,17 @@ import (
 
 // resultBoard collects worker verdicts by crash-state index. await blocks
 // until the state's worker has published (a verdict or a speculative skip);
-// workers themselves never block, so await always terminates.
+// workers themselves never block, so await always terminates. Cancelling
+// the board releases every waiter: await then reports "no verdict" for
+// unpublished states, and the merge goroutine — which polls the run's
+// context between states — exits before asking for another.
 type resultBoard struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	res  []checkResult
-	done []bool // published at all
-	have []bool // published with a verdict (false = speculatively skipped)
+	mu       sync.Mutex
+	cond     *sync.Cond
+	res      []checkResult
+	done     []bool // published at all
+	have     []bool // published with a verdict (false = speculatively skipped)
+	canceled bool
 }
 
 func newResultBoard(n int) *resultBoard {
@@ -68,14 +73,27 @@ func (b *resultBoard) skip(i int) {
 }
 
 // await blocks until state i is published and returns its verdict; ok is
-// false when the worker skipped the state.
+// false when the worker skipped the state (or the board was cancelled
+// before the worker reached it).
 func (b *resultBoard) await(i int) (checkResult, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for !b.done[i] {
+	for !b.done[i] && !b.canceled {
 		b.cond.Wait()
 	}
+	if !b.done[i] {
+		return checkResult{}, false
+	}
 	return b.res[i], b.have[i]
+}
+
+// cancel releases every awaiting goroutine; workers observing the run's
+// context stop publishing shortly after.
+func (b *resultBoard) cancel() {
+	b.mu.Lock()
+	b.canceled = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
 }
 
 // shardStates deals n state indices round-robin onto w shards, so each
@@ -161,7 +179,7 @@ func exploreOrder(n, nprocs int, sigs [][]string, disableTSP bool) []int {
 // session's counters keep reconciling 1:1 with Stats.
 func (s *session) shardSession(fs pfs.FileSystem) *session {
 	ws := &session{
-		fs: fs, lib: s.lib, opts: s.opts,
+		fs: fs, lib: s.lib, opts: s.opts, ctx: s.ctx,
 		g: s.g, emu: s.emu, pfsOps: s.pfsOps, libOps: s.libOps,
 		initial:        s.initial,
 		clients:        map[string]pfs.Client{},
@@ -182,6 +200,10 @@ func (s *session) shardSession(fs pfs.FileSystem) *session {
 // shared with the workers for speculative pruning.
 func (s *session) runParallel(states []CrashState, cloner pfs.Cloner, workers int, skip func(CrashState) bool, handle func(CrashState), bugs *BugSet) {
 	board := newResultBoard(len(states))
+	// Cancellation releases the merge goroutine from board.await; the
+	// workers notice the context themselves between states.
+	stopCancel := context.AfterFunc(s.ctx, board.cancel)
+	defer stopCancel()
 	shards := shardStates(len(states), workers)
 	s.obs.Gauge("workers").Set(int64(len(shards)))
 
@@ -229,6 +251,9 @@ func (s *session) runParallel(states []CrashState, cloner pfs.Cloner, workers in
 		s.mergeOptimized(states, board, skip, handle)
 	} else {
 		for _, cs := range states {
+			if s.ctx.Err() != nil {
+				break
+			}
 			if !skip(cs) {
 				handle(cs)
 			}
@@ -243,6 +268,9 @@ func (s *session) runParallel(states []CrashState, cloner pfs.Cloner, workers in
 // visiting order), publishing every verdict to the board.
 func (ws *session) exploreShard(states []CrashState, ids []int, bugs *BugSet, board *resultBoard, pending *obs.Gauge) {
 	for _, id := range ids {
+		if ws.ctx.Err() != nil {
+			return
+		}
 		cs := states[id]
 		if ws.opts.Mode != ModeBrute && bugs.KnownBad(cs) {
 			board.skip(id)
@@ -283,6 +311,9 @@ func (ws *session) exploreShardOptimized(states []CrashState, ids []int, bugs *B
 		cur[i] = "\x00unset"
 	}
 	for _, k := range order {
+		if ws.ctx.Err() != nil {
+			return
+		}
 		cs := shard[k]
 		if bugs.KnownBad(cs) {
 			board.skip(ids[k])
@@ -329,6 +360,9 @@ func (s *session) mergeOptimized(states []CrashState, board *resultBoard, skip f
 		cur[i] = "\x00unset"
 	}
 	for _, idx := range order {
+		if s.ctx.Err() != nil {
+			return
+		}
 		cs := states[idx]
 		if skip(cs) {
 			continue

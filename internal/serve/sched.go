@@ -1,0 +1,398 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"paracrash/internal/exps"
+	"paracrash/internal/fuzzcamp"
+	"paracrash/internal/obs"
+	core "paracrash/internal/paracrash"
+)
+
+// Admission errors, mapped to HTTP statuses by the server (429 and 503).
+var (
+	// ErrQueueFull signals backpressure: the FIFO queue is at capacity.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining signals shutdown: the scheduler no longer accepts jobs.
+	ErrDraining = errors.New("serve: scheduler is draining")
+)
+
+// SchedulerConfig bounds the scheduler. The zero value is usable: 2
+// concurrent jobs, a 16-deep queue, no default timeout, uncapped per-job
+// workers.
+type SchedulerConfig struct {
+	// MaxConcurrent is the number of jobs running at once (default 2).
+	MaxConcurrent int
+	// QueueDepth bounds the FIFO queue; a full queue rejects submissions
+	// with ErrQueueFull (default 16).
+	QueueDepth int
+	// DefaultTimeout applies to jobs that do not request one (0 = none).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps every job's timeout, requested or defaulted
+	// (0 = no cap).
+	MaxTimeout time.Duration
+	// MaxJobWorkers caps Options.Workers per job so one job cannot claim
+	// every CPU (0 = no cap).
+	MaxJobWorkers int
+	// ProgressInterval is the per-job obs progress cadence feeding the
+	// events stream (default 250ms).
+	ProgressInterval time.Duration
+	// EventHistory is the per-job event ring size (default 256).
+	EventHistory int
+}
+
+func (c SchedulerConfig) withDefaults() SchedulerConfig {
+	if c.MaxConcurrent < 1 {
+		c.MaxConcurrent = 2
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 16
+	}
+	if c.ProgressInterval <= 0 {
+		c.ProgressInterval = 250 * time.Millisecond
+	}
+	if c.EventHistory < 1 {
+		c.EventHistory = 256
+	}
+	return c
+}
+
+// jobRun is the live half of a job: its obs run, event stream and cancel
+// handle. Entries are retained after completion so the events endpoint can
+// replay a finished job's stream (restart-loaded jobs have none).
+type jobRun struct {
+	run    *obs.Run
+	sink   *obs.StreamSink
+	cancel context.CancelFunc
+}
+
+// Scheduler owns the job queue and the worker pool.
+type Scheduler struct {
+	cfg   SchedulerConfig
+	store *Store
+	obs   *obs.Run // daemon-level run (queue gauges, job counters)
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	runs     map[string]*jobRun
+
+	// executor runs one job's payload; tests substitute it to control job
+	// duration and failure modes without spinning real explorations.
+	executor func(ctx context.Context, req JobRequest, run *obs.Run) (*core.Report, *FuzzResult, error)
+
+	ctrSubmitted *obs.Counter
+	ctrRejected  *obs.Counter
+	ctrDone      *obs.Counter
+	ctrFailed    *obs.Counter
+	ctrCanceled  *obs.Counter
+	gaugeQueued  *obs.Gauge
+	gaugeRunning *obs.Gauge
+}
+
+// NewScheduler builds a scheduler over the store; run (nilable) receives
+// the daemon-level metrics. Call Start to launch the worker pool.
+func NewScheduler(cfg SchedulerConfig, store *Store, run *obs.Run) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
+		cfg:   cfg,
+		store: store,
+		obs:   run,
+		queue: make(chan *Job, cfg.QueueDepth),
+		runs:  map[string]*jobRun{},
+
+		ctrSubmitted: run.Counter("jobs/submitted"),
+		ctrRejected:  run.Counter("jobs/rejected"),
+		ctrDone:      run.Counter("jobs/done"),
+		ctrFailed:    run.Counter("jobs/failed"),
+		ctrCanceled:  run.Counter("jobs/canceled"),
+		gaugeQueued:  run.Gauge("jobs/queued"),
+		gaugeRunning: run.Gauge("jobs/running"),
+	}
+	s.executor = s.execute
+	return s
+}
+
+// Start launches the worker pool.
+func (s *Scheduler) Start() {
+	for i := 0; i < s.cfg.MaxConcurrent; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.gaugeQueued.Add(-1)
+				s.runJob(j)
+			}
+		}()
+	}
+}
+
+// Submit validates, enqueues and registers a job. ErrQueueFull and
+// ErrDraining are admission rejections; other errors are request errors.
+func (s *Scheduler) Submit(req JobRequest) (Job, error) {
+	if err := req.Normalize(); err != nil {
+		return Job{}, err
+	}
+	job := &Job{
+		Version:   JobVersion,
+		ID:        newJobID(),
+		State:     JobQueued,
+		Request:   req,
+		CreatedAt: time.Now().UTC(),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.ctrRejected.Inc()
+		return Job{}, ErrDraining
+	}
+	// Every send happens under s.mu and workers only drain the queue, so a
+	// capacity check here makes the send below non-blocking.
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		s.ctrRejected.Inc()
+		return Job{}, ErrQueueFull
+	}
+	// Register the live half and the store record before the job becomes
+	// visible to workers: a worker that dequeues it immediately must find
+	// both, and the events endpoint can subscribe the instant Submit
+	// returns. Snapshot the record now — once enqueued, workers own it.
+	jr := &jobRun{run: obs.NewRun(), sink: obs.NewStreamSink(s.cfg.EventHistory)}
+	jr.run.AddSink(jr.sink)
+	s.runs[job.ID] = jr
+	s.store.Add(job)
+	snap := *job
+	s.gaugeQueued.Add(1)
+	s.queue <- job
+	s.mu.Unlock()
+
+	s.ctrSubmitted.Inc()
+	return snap, nil
+}
+
+// Events returns the job's event stream sink (nil for unknown or
+// restart-loaded jobs, which have no live stream).
+func (s *Scheduler) Events(id string) *obs.StreamSink {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if jr, ok := s.runs[id]; ok {
+		return jr.sink
+	}
+	return nil
+}
+
+// Draining reports whether the scheduler has stopped accepting jobs.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission and waits for the queue to empty and in-flight
+// jobs to finish. When ctx expires first, the remaining jobs are cancelled
+// and Drain waits for them to acknowledge. Idempotent.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// cancelAll cancels every live job's context (drain-deadline path).
+func (s *Scheduler) cancelAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, jr := range s.runs {
+		if jr.cancel != nil {
+			jr.cancel()
+		}
+	}
+}
+
+// timeoutFor resolves a job's effective timeout.
+func (s *Scheduler) timeoutFor(req JobRequest) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if req.TimeoutSeconds > 0 {
+		d = time.Duration(req.TimeoutSeconds * float64(time.Second))
+	}
+	if s.cfg.MaxTimeout > 0 && (d == 0 || d > s.cfg.MaxTimeout) {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// runJob executes one job with timeout, cancellation and panic isolation,
+// then records the terminal state and closes the event stream.
+func (s *Scheduler) runJob(job *Job) {
+	s.mu.Lock()
+	jr := s.runs[job.ID]
+	s.mu.Unlock()
+	if jr == nil { // unreachable: Submit registers before enqueueing
+		jr = &jobRun{run: obs.NewRun(), sink: obs.NewStreamSink(s.cfg.EventHistory)}
+		jr.run.AddSink(jr.sink)
+	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if d := s.timeoutFor(job.Request); d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	s.mu.Lock()
+	jr.cancel = cancel
+	s.mu.Unlock()
+
+	now := time.Now().UTC()
+	_ = s.store.Update(job.ID, func(j *Job) {
+		j.State = JobRunning
+		j.StartedAt = &now
+	})
+	s.gaugeRunning.Add(1)
+	defer s.gaugeRunning.Add(-1)
+
+	jr.run.StartProgress(s.cfg.ProgressInterval)
+
+	report, fuzz, err := s.safeExecute(ctx, job.Request, jr.run)
+
+	// Close flushes the final progress event, which also closes every
+	// events-stream subscriber.
+	jr.run.Close()
+
+	end := time.Now().UTC()
+	perr := s.store.Update(job.ID, func(j *Job) {
+		j.FinishedAt = &end
+		j.Report = report
+		j.Fuzz = fuzz
+		switch {
+		case err == nil:
+			j.State = JobDone
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			j.State = JobCanceled
+			j.Error = err.Error()
+		default:
+			j.State = JobFailed
+			j.Error = err.Error()
+		}
+	})
+	if perr != nil {
+		// The record stays queryable in memory; persistence failure only
+		// costs restart durability.
+		s.obs.Counter("jobs/persist-errors").Inc()
+	}
+	switch {
+	case err == nil:
+		s.ctrDone.Inc()
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.ctrCanceled.Inc()
+	default:
+		s.ctrFailed.Inc()
+	}
+}
+
+// safeExecute isolates panics: a panic anywhere in the engine becomes a
+// job failure instead of taking the daemon down.
+func (s *Scheduler) safeExecute(ctx context.Context, req JobRequest, run *obs.Run) (report *core.Report, fuzz *FuzzResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			report, fuzz = nil, nil
+			err = fmt.Errorf("serve: job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return s.executor(ctx, req, run)
+}
+
+// execute dispatches on the job kind.
+func (s *Scheduler) execute(ctx context.Context, req JobRequest, run *obs.Run) (*core.Report, *FuzzResult, error) {
+	switch req.Kind {
+	case JobKindFuzz:
+		cfg := fuzzcamp.Config{Obs: run}
+		if req.Fuzz != nil {
+			cfg.Backends = req.Fuzz.Backends
+			cfg.Seeds = req.Fuzz.Seeds
+			cfg.SeedStart = req.Fuzz.SeedStart
+			cfg.EnumOps = req.Fuzz.EnumOps
+		}
+		if req.Workers > 0 {
+			cfg.Workers = req.Workers
+		}
+		if s.cfg.MaxJobWorkers > 0 && (cfg.Workers == 0 || cfg.Workers > s.cfg.MaxJobWorkers) {
+			cfg.Workers = s.cfg.MaxJobWorkers
+		}
+		res, ferr := fuzzcamp.RunContext(ctx, cfg)
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		if res.Canceled {
+			// Surface the cancellation as the job's terminal state; the
+			// partial summary still rides along.
+			return nil, summarizeFuzz(res), ctx.Err()
+		}
+		return nil, summarizeFuzz(res), nil
+	default:
+		prog, perr := exps.ProgramByName(req.Program)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		opts := req.options(s.cfg.MaxJobWorkers)
+		opts.Obs = run
+		rep, rerr := exps.RunOneContext(ctx, req.FS, prog, opts, req.h5Params(), exps.ConfigFor(req.FS))
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return rep, nil, nil
+	}
+}
+
+// summarizeFuzz projects a campaign result onto the persisted form.
+func summarizeFuzz(res *fuzzcamp.Result) *FuzzResult {
+	return &FuzzResult{
+		OK:           res.OK(),
+		Workloads:    res.Workloads,
+		Cells:        res.Cells,
+		CellsSkipped: res.CellsSkipped,
+		ExplorerRuns: res.ExplorerRuns,
+		Violations:   len(res.Violations),
+		TimedOut:     res.TimedOut,
+		Canceled:     res.Canceled,
+		Summary:      res.Format(),
+	}
+}
+
+// newJobID mints a random 12-hex-digit job ID.
+func newJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is unrecoverable noise; fall back to a
+		// time-derived ID rather than refusing jobs.
+		return fmt.Sprintf("j-%012x", time.Now().UnixNano()&0xffffffffffff)
+	}
+	return "j-" + hex.EncodeToString(b[:])
+}

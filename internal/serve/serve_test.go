@@ -1,0 +1,510 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"paracrash/internal/obs"
+	core "paracrash/internal/paracrash"
+)
+
+// waitState polls the store until the job reaches want (or a terminal
+// state, or the deadline).
+func waitState(t *testing.T, st *Store, id string, want JobState) Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		j, ok := st.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished from store", id)
+		}
+		if j.State == want {
+			return j
+		}
+		if j.State.Terminal() {
+			t.Fatalf("job %s reached %s, want %s (error: %s)", id, j.State, want, j.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Job{}
+}
+
+// gatedScheduler builds a scheduler whose jobs block until the returned
+// gate closes, so tests control exactly when jobs finish.
+func gatedScheduler(cfg SchedulerConfig, st *Store) (*Scheduler, chan struct{}) {
+	s := NewScheduler(cfg, st, nil)
+	gate := make(chan struct{})
+	s.executor = func(ctx context.Context, req JobRequest, run *obs.Run) (*core.Report, *FuzzResult, error) {
+		select {
+		case <-gate:
+			return &core.Report{Program: req.Program, FS: req.FS}, nil, nil
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	s.Start()
+	return s, gate
+}
+
+func TestSubmitValidation(t *testing.T) {
+	st, _ := OpenStore("")
+	s := NewScheduler(SchedulerConfig{}, st, nil)
+	s.Start()
+	defer s.Drain(context.Background())
+
+	for _, req := range []JobRequest{
+		{Kind: "bogus"},
+		{FS: "zfs"},
+		{Program: "no-such-program"},
+		{Mode: "exhaustive"},
+		{PFSModel: "eventual"},
+		{K: -1},
+		{Workers: -2},
+		{TimeoutSeconds: -1},
+		{Kind: JobKindFuzz, Fuzz: &FuzzRequest{Backends: []string{"zfs"}}},
+	} {
+		if _, err := s.Submit(req); err == nil {
+			t.Errorf("Submit(%+v) accepted an invalid request", req)
+		}
+	}
+	if len(st.List()) != 0 {
+		t.Fatalf("invalid submissions reached the store: %d jobs", len(st.List()))
+	}
+}
+
+// TestConcurrentJobsAndBackpressure runs four jobs at once and verifies the
+// queue-depth limit surfaces as ErrQueueFull while they hold the slots.
+func TestConcurrentJobsAndBackpressure(t *testing.T) {
+	st, _ := OpenStore("")
+	s, gate := gatedScheduler(SchedulerConfig{MaxConcurrent: 4, QueueDepth: 2}, st)
+
+	// Submit one at a time, waiting for a worker to claim each: admission
+	// counts queue slots only, so racing 4 submissions against dispatch
+	// could trip the depth-2 queue before the slots fill.
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(JobRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, st, j.ID, JobRunning)
+	}
+
+	// Slots are full; the queue absorbs exactly QueueDepth more.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(JobRequest{}); err != nil {
+			t.Fatalf("queued submission %d: %v", i, err)
+		}
+	}
+	if _, err := s.Submit(JobRequest{}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submission over queue depth: err = %v, want ErrQueueFull", err)
+	}
+
+	close(gate)
+	for _, j := range st.List() {
+		j := waitState(t, st, j.ID, JobDone)
+		if j.Report == nil {
+			t.Errorf("job %s done without a report", j.ID)
+		}
+	}
+}
+
+// TestDrainCompletesInFlight verifies graceful shutdown: draining rejects
+// new submissions but lets running jobs finish.
+func TestDrainCompletesInFlight(t *testing.T) {
+	st, _ := OpenStore("")
+	s, gate := gatedScheduler(SchedulerConfig{MaxConcurrent: 1}, st)
+
+	j, err := s.Submit(JobRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, st, j.ID, JobRunning)
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	// Drain flips the draining flag before waiting; poll until it shows.
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(JobRequest{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: err = %v, want ErrDraining", err)
+	}
+
+	close(gate) // let the in-flight job finish
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if j := waitState(t, st, j.ID, JobDone); j.Report == nil {
+		t.Fatalf("drained job lost its report")
+	}
+}
+
+// TestDrainDeadlineCancels verifies the forced path: when the drain
+// context expires, in-flight jobs are cancelled and recorded as such.
+func TestDrainDeadlineCancels(t *testing.T) {
+	st, _ := OpenStore("")
+	s, _ := gatedScheduler(SchedulerConfig{MaxConcurrent: 1}, st)
+
+	j, err := s.Submit(JobRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, st, j.ID, JobRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain: err = %v, want DeadlineExceeded", err)
+	}
+	got, _ := st.Get(j.ID)
+	if got.State != JobCanceled {
+		t.Fatalf("job state = %s, want canceled", got.State)
+	}
+}
+
+// TestJobTimeoutCancelsExploration bounds a real brute-force exploration
+// with a tiny per-job timeout and verifies the job lands in canceled
+// without leaking worker goroutines.
+func TestJobTimeoutCancelsExploration(t *testing.T) {
+	before := runtime.NumGoroutine()
+	st, _ := OpenStore("")
+	s := NewScheduler(SchedulerConfig{MaxConcurrent: 1}, st, nil)
+	s.Start()
+
+	j, err := s.Submit(JobRequest{
+		Mode: "brute", K: 2, Workers: 4,
+		TimeoutSeconds: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	var got Job
+	for time.Now().Before(deadline) {
+		got, _ = st.Get(j.ID)
+		if got.State.Terminal() {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// done is possible if the run beat the 20ms clock; anything else must
+	// be the timeout.
+	if got.State != JobCanceled && got.State != JobDone {
+		t.Fatalf("job state = %s (error %q), want canceled or done", got.State, got.Error)
+	}
+	if got.State == JobCanceled && !strings.Contains(got.Error, "deadline") {
+		t.Errorf("canceled job error = %q, want a deadline error", got.Error)
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	settle := time.Now().Add(5 * time.Second)
+	for time.Now().Before(settle) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestPanicIsolation verifies a panicking job becomes a failed record and
+// the scheduler keeps serving.
+func TestPanicIsolation(t *testing.T) {
+	st, _ := OpenStore("")
+	s := NewScheduler(SchedulerConfig{MaxConcurrent: 1}, st, nil)
+	boom := true
+	s.executor = func(ctx context.Context, req JobRequest, run *obs.Run) (*core.Report, *FuzzResult, error) {
+		if boom {
+			boom = false
+			panic("engine blew up")
+		}
+		return &core.Report{}, nil, nil
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+
+	j1, err := s.Submit(JobRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, _ := st.Get(j1.ID)
+		if got.State.Terminal() {
+			if got.State != JobFailed || !strings.Contains(got.Error, "panicked") {
+				t.Fatalf("job state = %s error = %q, want failed/panicked", got.State, got.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("panicking job never finished")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	j2, err := s.Submit(JobRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, st, j2.ID, JobDone)
+}
+
+// TestStoreRestartRoundTrip persists completed jobs and verifies a fresh
+// store over the same directory lists them.
+func TestStoreRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, warns := OpenStore(dir)
+	if len(warns) != 0 {
+		t.Fatalf("fresh store warnings: %v", warns)
+	}
+	s, gate := gatedScheduler(SchedulerConfig{MaxConcurrent: 2}, st)
+	close(gate)
+
+	j1, err := s.Submit(JobRequest{Program: "WAL", FS: "lustre"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(JobRequest{Program: "CR", FS: "gpfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, st, j1.ID, JobDone)
+	waitState(t, st, j2.ID, JobDone)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a new store over the same directory.
+	st2, warns := OpenStore(dir)
+	if len(warns) != 0 {
+		t.Fatalf("reopen warnings: %v", warns)
+	}
+	jobs := st2.List()
+	if len(jobs) != 2 {
+		t.Fatalf("reloaded %d jobs, want 2", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.State != JobDone || j.Report == nil || j.Version != JobVersion {
+			t.Errorf("reloaded job %s: state=%s report=%v version=%d", j.ID, j.State, j.Report != nil, j.Version)
+		}
+	}
+	got, ok := st2.Get(j1.ID)
+	if !ok || got.Request.Program != "WAL" || got.Request.FS != "lustre" {
+		t.Fatalf("job %s round-trip mismatch: %+v", j1.ID, got.Request)
+	}
+}
+
+// TestStoreSkipsCorruptRecords verifies one bad file cannot poison a
+// restart.
+func TestStoreSkipsCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := OpenStore(dir)
+	s, gate := gatedScheduler(SchedulerConfig{}, st)
+	close(gate)
+	j, err := s.Submit(JobRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, st, j.ID, JobDone)
+	s.Drain(context.Background())
+
+	writeFile(t, dir+"/job-corrupt.json", "{not json")
+	writeFile(t, dir+"/job-oldversion.json", `{"version": 99, "id": "j-old", "state": "done"}`)
+
+	st2, warns := OpenStore(dir)
+	if len(warns) != 2 {
+		t.Fatalf("warnings = %v, want 2", warns)
+	}
+	if len(st2.List()) != 1 {
+		t.Fatalf("reloaded %d jobs, want 1 (corrupt records skipped)", len(st2.List()))
+	}
+}
+
+// TestHTTPEndToEnd drives the full API over HTTP: submit, list, get,
+// stream events, health, and the error statuses.
+func TestHTTPEndToEnd(t *testing.T) {
+	st, _ := OpenStore("")
+	run := obs.NewRun()
+	s := NewScheduler(SchedulerConfig{MaxConcurrent: 4, QueueDepth: 8, ProgressInterval: 5 * time.Millisecond}, st, run)
+	s.Start()
+	defer s.Drain(context.Background())
+	srv := httptest.NewServer(NewServer(s, st, run))
+	defer srv.Close()
+
+	// Submit four real (fast) exploration jobs concurrently.
+	var ids []string
+	for i := 0; i < 4; i++ {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+			strings.NewReader(`{"fs":"beegfs","program":"ARVR","mode":"pruning"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status = %s", resp.Status)
+		}
+		var j Job
+		if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if j.State != JobQueued || j.ID == "" {
+			t.Fatalf("submitted job = %+v", j)
+		}
+		ids = append(ids, j.ID)
+	}
+
+	// Stream one job's events to completion: NDJSON lines ending in the
+	// final progress event.
+	eresp, err := http.Get(srv.URL + "/v1/jobs/" + ids[0] + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := eresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content-type = %q", ct)
+	}
+	var events []obs.Event
+	sc := bufio.NewScanner(eresp.Body)
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	eresp.Body.Close()
+	if len(events) == 0 || !events[len(events)-1].Final {
+		t.Fatalf("event stream = %d events, final=%v; want >=1 ending final", len(events), len(events) > 0 && events[len(events)-1].Final)
+	}
+
+	// All four jobs finish with reports.
+	for _, id := range ids {
+		j := waitState(t, st, id, JobDone)
+		if j.Report == nil || j.Report.Program != "ARVR" {
+			t.Fatalf("job %s report = %+v", id, j.Report)
+		}
+	}
+
+	// GET /v1/jobs lists all four.
+	lresp, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []JobSummary
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if len(list) != 4 {
+		t.Fatalf("list = %d jobs, want 4", len(list))
+	}
+
+	// GET /v1/jobs/{id} returns the full record.
+	gresp, err := http.Get(srv.URL + "/v1/jobs/" + ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Job
+	if err := json.NewDecoder(gresp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if got.ID != ids[1] || got.State != JobDone {
+		t.Fatalf("get job = %+v", got.Summary())
+	}
+
+	// healthz.
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Done   int    `json:"done"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Status != "ok" || health.Done != 4 {
+		t.Fatalf("health = %+v", health)
+	}
+
+	// Error statuses: unknown job, invalid body, unknown field.
+	for _, tc := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{"GET", "/v1/jobs/j-doesnotexist", "", http.StatusNotFound},
+		{"GET", "/v1/jobs/j-doesnotexist/events", "", http.StatusNotFound},
+		{"POST", "/v1/jobs", "{", http.StatusBadRequest},
+		{"POST", "/v1/jobs", `{"filesystem":"beegfs"}`, http.StatusBadRequest},
+		{"POST", "/v1/jobs", `{"fs":"zfs"}`, http.StatusBadRequest},
+	} {
+		req, _ := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s: status = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestHTTPBackpressure verifies the 429 + Retry-After contract over HTTP.
+func TestHTTPBackpressure(t *testing.T) {
+	st, _ := OpenStore("")
+	s, gate := gatedScheduler(SchedulerConfig{MaxConcurrent: 1, QueueDepth: 1}, st)
+	defer func() { close(gate); s.Drain(context.Background()) }()
+	srv := httptest.NewServer(NewServer(s, st, nil))
+	defer srv.Close()
+
+	submit := func() *http.Response {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	var j Job
+	{
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		json.NewDecoder(resp.Body).Decode(&j)
+		resp.Body.Close()
+	}
+	waitState(t, st, j.ID, JobRunning) // slot taken
+	if resp := submit(); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued submit status = %d", resp.StatusCode) // queue takes one
+	}
+	resp := submit()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

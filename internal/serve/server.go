@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"paracrash/internal/obs"
+)
+
+// Server is the paracrashd HTTP API over a scheduler and its store.
+type Server struct {
+	sched *Scheduler
+	store *Store
+	run   *obs.Run // daemon-level run, exposed at /debug/obs
+	mux   *http.ServeMux
+}
+
+// NewServer wires the API routes. run (nilable) is the daemon-level obs
+// run served at /debug/obs*.
+func NewServer(sched *Scheduler, store *Store, run *obs.Run) *Server {
+	s := &Server{sched: sched, store: store, run: run, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /debug/obs", s.handleObs)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// healthResponse is the GET /healthz payload.
+type healthResponse struct {
+	Status  string `json:"status"` // "ok" or "draining"
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	Done    int    `json:"done"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{Status: "ok"}
+	if s.sched.Draining() {
+		resp.Status = "draining"
+	}
+	for _, j := range s.store.List() {
+		switch j.State {
+		case JobQueued:
+			resp.Queued++
+		case JobRunning:
+			resp.Running++
+		default:
+			resp.Done++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	job, err := s.sched.Submit(req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, job)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.store.List()
+	out := make([]JobSummary, 0, len(jobs))
+	for i := range jobs {
+		out = append(out, jobs[i].Summary())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleEvents streams a job's progress events as NDJSON: the retained
+// history first, then live events until the job finishes or the client
+// goes away. Completed jobs replay their history and close immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.store.Get(id); !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	sink := s.sched.Events(id)
+	if sink == nil {
+		// Restart-loaded job: the record survived, the stream did not.
+		writeError(w, http.StatusGone, "job %q predates this daemon instance; no event stream retained", id)
+		return
+	}
+
+	history, live, unsubscribe := sink.Subscribe()
+	defer unsubscribe()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for _, ev := range history {
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleObs serves the daemon-level obs summary.
+func (s *Server) handleObs(w http.ResponseWriter, r *http.Request) {
+	if s.run == nil {
+		writeError(w, http.StatusNotFound, "observability disabled")
+		return
+	}
+	data, err := s.run.SummaryJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store indexes every job the daemon knows about. Live jobs (queued,
+// running) exist only in memory; terminal jobs are additionally persisted
+// to the results directory — one `job-<id>.json` per job, schema-versioned
+// by JobVersion — so a restarted daemon lists previously completed jobs.
+// An empty directory path keeps the store memory-only.
+type Store struct {
+	dir string
+
+	mu    sync.RWMutex
+	jobs  map[string]*Job
+	order []string // submission order; restart-loaded jobs sort by CreatedAt first
+}
+
+// OpenStore opens (creating if needed) a store over dir and loads every
+// persisted job record. Records with a different schema version or
+// unparsable content are skipped with an error list, never a failure: one
+// corrupt record must not take the daemon down.
+func OpenStore(dir string) (*Store, []error) {
+	s := &Store{dir: dir, jobs: map[string]*Job{}}
+	if dir == "" {
+		return s, nil
+	}
+	var warns []error
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return s, []error{fmt.Errorf("serve: results dir: %w", err)}
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "job-*.json"))
+	if err != nil {
+		return s, []error{err}
+	}
+	var loaded []*Job
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			warns = append(warns, fmt.Errorf("serve: read %s: %w", p, err))
+			continue
+		}
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil {
+			warns = append(warns, fmt.Errorf("serve: parse %s: %w", p, err))
+			continue
+		}
+		if j.Version != JobVersion {
+			warns = append(warns, fmt.Errorf("serve: %s has schema version %d, want %d", p, j.Version, JobVersion))
+			continue
+		}
+		if j.ID == "" || !j.State.Terminal() {
+			warns = append(warns, fmt.Errorf("serve: %s is not a terminal job record", p))
+			continue
+		}
+		loaded = append(loaded, &j)
+	}
+	sort.Slice(loaded, func(a, b int) bool { return loaded[a].CreatedAt.Before(loaded[b].CreatedAt) })
+	for _, j := range loaded {
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+	}
+	return s, warns
+}
+
+// Dir returns the results directory ("" for a memory-only store).
+func (s *Store) Dir() string { return s.dir }
+
+// Add registers a new job.
+func (s *Store) Add(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[j.ID]; !ok {
+		s.order = append(s.order, j.ID)
+	}
+	s.jobs[j.ID] = j
+}
+
+// Get returns a snapshot copy of the job record. The copy shares the
+// immutable result pointers (Report, Fuzz are written once, before the job
+// turns terminal) but detaches the mutable scalar fields, so handlers can
+// marshal it without holding the store lock.
+func (s *Store) Get(id string) (Job, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns snapshot copies of every job in submission order.
+func (s *Store) List() []Job {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.jobs[id])
+	}
+	return out
+}
+
+// Update applies fn to the job under the store lock and, when the job has
+// reached a terminal state, persists it. The returned error is the
+// persistence error (the in-memory update always applies).
+func (s *Store) Update(id string, fn func(*Job)) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: update of unknown job %s", id)
+	}
+	fn(j)
+	var snapshot *Job
+	if j.State.Terminal() {
+		cp := *j
+		snapshot = &cp
+	}
+	s.mu.Unlock()
+	if snapshot == nil || s.dir == "" {
+		return nil
+	}
+	return s.persist(snapshot)
+}
+
+// persist writes one terminal job record atomically (temp file + rename).
+func (s *Store) persist(j *Job) error {
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: encode job %s: %w", j.ID, err)
+	}
+	path := filepath.Join(s.dir, "job-"+sanitizeID(j.ID)+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("serve: write job %s: %w", j.ID, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("serve: commit job %s: %w", j.ID, err)
+	}
+	return nil
+}
+
+// sanitizeID keeps persisted file names flat even if an ID were ever
+// attacker-shaped; IDs the scheduler mints are already [a-z0-9-].
+func sanitizeID(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, id)
+}

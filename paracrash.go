@@ -26,6 +26,8 @@
 package paracrash
 
 import (
+	"context"
+
 	"paracrash/internal/exps"
 	core "paracrash/internal/paracrash"
 	"paracrash/internal/pfs"
@@ -95,6 +97,14 @@ const (
 // POSIX programs.
 func Run(fs FileSystem, lib Library, w Workload, opts Options) (*Report, error) {
 	return core.Run(fs, lib, w, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled or its
+// deadline passes, exploration stops at the next crash-state boundary and
+// the error wraps ctx.Err(). An uncancelled RunContext produces a report
+// byte-identical to Run's.
+func RunContext(ctx context.Context, fs FileSystem, lib Library, w Workload, opts Options) (*Report, error) {
+	return core.RunContext(ctx, fs, lib, w, opts)
 }
 
 // DefaultOptions mirrors the paper's evaluation settings: pruning
