@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck doclint test race ci bench gobench experiments examples fuzz fuzz-smoke clean
+.PHONY: all build vet fmtcheck doclint test race ci bench gobench experiments examples fuzz fuzz-smoke chaos clean
 
 all: build vet test
 
@@ -32,7 +32,7 @@ race:
 	$(GO) test -race ./...
 
 # Everything a change must pass before it lands.
-ci: build vet fmtcheck doclint test race fuzz-smoke
+ci: build vet fmtcheck doclint test race fuzz-smoke chaos
 
 # Run the benchmark trajectory with observability enabled and write the
 # per-run summary (phase timings, counters, Stats) as BENCH_<stamp>.json.
@@ -71,6 +71,14 @@ fuzz-smoke:
 	$(GO) test ./internal/trace/ -fuzz FuzzTraceRoundTrip -fuzztime 5s
 	$(GO) test ./internal/paracrash/ -fuzz FuzzParseModel -fuzztime 5s
 	$(GO) run ./cmd/experiments -exp fuzz -seeds 8 -enum-ops 1
+
+# Chaos gate: run explorations under injected faults, kill them mid-run and
+# resume from the checkpoint journal; the resumed reports must be
+# byte-identical to clean uninterrupted runs, and a hard-faulted fuzz
+# campaign must quarantine cells instead of dying.
+chaos:
+	$(GO) test ./internal/paracrash/ -run 'TestChaosResumeDeterminism|TestFaultTransparency|TestHardFaults' -count=1 -v
+	$(GO) test ./internal/fuzzcamp/ -run 'TestCampaignHealsInjectedFaults|TestCampaignQuarantinesHardFaultedCells' -count=1
 
 clean:
 	$(GO) clean ./...

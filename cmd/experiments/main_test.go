@@ -83,6 +83,11 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"positional args", []string{"-exp", "fig5", "stray"}, "unexpected arguments"},
 		{"negative seeds", []string{"-exp", "fuzz", "-seeds", "-1"}, "-seeds must be >= 0"},
 		{"negative enum-ops", []string{"-exp", "fuzz", "-enum-ops", "-2"}, "-enum-ops must be >= 0"},
+		{"negative retries", []string{"-exp", "fuzz", "-retries", "-1"}, "-retries must be >= 0"},
+		{"negative retry backoff", []string{"-exp", "fuzz", "-retry-backoff", "-1ms"}, "-retry-backoff must be >= 0"},
+		{"malformed retry backoff", []string{"-exp", "fuzz", "-retry-backoff", "soon"}, "invalid value"},
+		{"fault rate above one", []string{"-exp", "fuzz", "-fault-rate", "2"}, "-fault-rate must be in [0,1]"},
+		{"negative fault rate", []string{"-exp", "fuzz", "-fault-rate", "-0.5"}, "-fault-rate must be in [0,1]"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"paracrash/internal/exps"
+	"paracrash/internal/faultinject"
 	"paracrash/internal/obs"
 	core "paracrash/internal/paracrash"
 	"paracrash/internal/serve"
@@ -48,6 +49,12 @@ func main() {
 
 		remote = flag.String("remote", "", "submit the run as a job to a paracrashd at this address (e.g. localhost:7077) instead of exploring locally")
 
+		retries      = flag.Int("retries", 0, "max attempts per crash-state check before quarantining it (0 = default 3)")
+		retryBackoff = flag.Duration("retry-backoff", 0, "base backoff between check retries (0 = default 2ms)")
+		resumePath   = flag.String("resume", "", "checkpoint journal path: journal verdicts there and resume from it on restart")
+		faultSeed    = flag.Int64("fault-seed", 0, "fault-injection seed (with -fault-rate)")
+		faultRate    = flag.Float64("fault-rate", 0, "inject faults into the engine's own I/O with this probability in [0,1] (0 = off)")
+
 		metricsPath = flag.String("metrics", "", "write the run's observability summary (phase timings, counters, gauges) as JSON to this file")
 		progress    = flag.Bool("progress", false, "print a one-line progress ticker to stderr every second")
 		progJSONL   = flag.String("progress-jsonl", "", "write machine-readable progress events (one JSON object per line) to this file")
@@ -75,6 +82,15 @@ func main() {
 	if *clients < 1 {
 		fatalIf(fmt.Errorf("-clients must be >= 1, got %d", *clients))
 	}
+	if *retries < 0 {
+		fatalIf(fmt.Errorf("-retries must be >= 0 (0 = default), got %d", *retries))
+	}
+	if *retryBackoff < 0 {
+		fatalIf(fmt.Errorf("-retry-backoff must be >= 0 (0 = default), got %v", *retryBackoff))
+	}
+	if *faultRate < 0 || *faultRate > 1 {
+		fatalIf(fmt.Errorf("-fault-rate must be in [0,1], got %g", *faultRate))
+	}
 
 	if *list {
 		fmt.Println("file systems:", strings.Join(exps.FSNames(), ", "))
@@ -91,8 +107,8 @@ func main() {
 	fatalIf(err)
 
 	if *remote != "" {
-		if *dumpPath != "" || *servers > 0 || *stripe > 0 {
-			fatalIf(fmt.Errorf("-dump-trace, -servers and -stripe are local-only and cannot combine with -remote"))
+		if *dumpPath != "" || *servers > 0 || *stripe > 0 || *resumePath != "" || *faultRate > 0 {
+			fatalIf(fmt.Errorf("-dump-trace, -servers, -stripe, -resume and -fault-rate are local-only and cannot combine with -remote"))
 		}
 		os.Exit(runRemote(*remote, serve.JobRequest{
 			Kind: serve.JobKindExplore,
@@ -121,6 +137,15 @@ func main() {
 	fatalIf(err)
 	opts.LibModel, err = core.ParseModel(*libModel)
 	fatalIf(err)
+	opts.Retry = core.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff}
+	if *faultRate > 0 {
+		opts.Faults = faultinject.New(faultinject.Config{Seed: *faultSeed, Rate: *faultRate})
+	}
+	var ckpt *core.Checkpoint
+	if *resumePath != "" {
+		ckpt = core.OpenCheckpoint(*resumePath)
+		opts.Checkpoint = ckpt
+	}
 
 	// Observability: one run per invocation, attached only when requested
 	// (the nil default keeps the engine's hot paths free of metric work).
@@ -177,6 +202,16 @@ func main() {
 	rep, err := exps.RunOne(*fsName, prog, opts, h5p, conf)
 	run.Close() // flush the final progress event before reporting
 	fatalIf(err)
+	if ckpt != nil {
+		fmt.Fprintf(os.Stderr, "paracrash: checkpoint %s: resumed %d verdicts", ckpt.Path(), ckpt.Resumed())
+		if w := ckpt.Warnings(); len(w) > 0 {
+			fmt.Fprintf(os.Stderr, " (%d warnings)", len(w))
+			for _, warn := range w {
+				fmt.Fprintf(os.Stderr, "\nparacrash: checkpoint warning: %v", warn)
+			}
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 	if *metricsPath != "" {
 		out, err := run.SummaryJSON()
 		fatalIf(err)
@@ -197,6 +232,9 @@ func main() {
 	if *verbose {
 		for i, st := range rep.States {
 			fmt.Printf("state %d [%s]: victims=%v\n  %s\n", i+1, st.Layer, st.Victims, st.Consequence)
+		}
+		for i, sk := range rep.Skipped {
+			fmt.Printf("skipped %d: victims=%v\n  %s\n", i+1, sk.Victims, sk.Reason)
 		}
 	}
 	if len(rep.Bugs) > 0 {

@@ -55,6 +55,14 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"unknown flag", []string{"-definitely-not-a-flag"}, "flag provided but not defined"},
 		{"positional args", []string{"stray", "args"}, "unexpected arguments"},
 		{"remote with local-only flag", []string{"-remote", "localhost:1", "-servers", "8"}, "local-only"},
+		{"negative retries", []string{"-retries", "-1"}, "-retries must be >= 0"},
+		{"negative retry backoff", []string{"-retry-backoff", "-5ms"}, "-retry-backoff must be >= 0"},
+		{"malformed retry backoff", []string{"-retry-backoff", "soon"}, "invalid value"},
+		{"fault rate above one", []string{"-fault-rate", "1.5"}, "-fault-rate must be in [0,1]"},
+		{"negative fault rate", []string{"-fault-rate", "-0.1"}, "-fault-rate must be in [0,1]"},
+		{"malformed fault rate", []string{"-fault-rate", "often"}, "invalid value"},
+		{"remote with resume", []string{"-remote", "localhost:1", "-resume", "ckpt.jsonl"}, "local-only"},
+		{"remote with fault rate", []string{"-remote", "localhost:1", "-fault-rate", "0.5"}, "local-only"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -75,5 +83,28 @@ func TestCLICleanRun(t *testing.T) {
 	code, stderr := runCLI(t, "-fs", "ext4", "-program", "CR")
 	if code != 0 {
 		t.Fatalf("exit code %d, want 0; stderr: %s", code, stderr)
+	}
+}
+
+// TestCLIResumeAndFaults runs the same cell twice against one checkpoint
+// journal with faults armed: both runs exit 0 and the second reports the
+// verdicts it resumed.
+func TestCLIResumeAndFaults(t *testing.T) {
+	ckpt := t.TempDir() + "/ckpt.jsonl"
+	args := []string{"-fs", "ext4", "-program", "CR",
+		"-resume", ckpt, "-fault-rate", "0.3", "-fault-seed", "7", "-retries", "4"}
+	code, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("first run exit code %d; stderr: %s", code, stderr)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("first run left no checkpoint journal: %v", err)
+	}
+	code, stderr = runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("second run exit code %d; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "resumed") || strings.Contains(stderr, "resumed 0 verdicts") {
+		t.Fatalf("second run did not report resumed verdicts; stderr: %s", stderr)
 	}
 }

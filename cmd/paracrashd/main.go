@@ -69,6 +69,16 @@ func main() {
 	}, store, run)
 	sched.Start()
 
+	// Re-enqueue jobs a previous daemon left queued or running: explore jobs
+	// resume from their checkpoint journal, others restart from scratch.
+	for _, j := range store.Interrupted() {
+		if err := sched.Resubmit(j.ID); err != nil {
+			fmt.Fprintf(os.Stderr, "paracrashd: warning: resubmit interrupted job %s: %v\n", j.ID, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "paracrashd: resubmitted interrupted job %s (%s)\n", j.ID, j.Request.Kind)
+		}
+	}
+
 	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(sched, store, run)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

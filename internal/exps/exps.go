@@ -476,6 +476,9 @@ func ReportFingerprint(rep *paracrash.Report) string {
 	for _, st := range rep.States {
 		fmt.Fprintf(&b, "S %+v\n", st)
 	}
+	for _, sk := range rep.Skipped {
+		fmt.Fprintf(&b, "K %+v\n", sk)
+	}
 	for _, bug := range rep.Bugs {
 		fmt.Fprintf(&b, "B %+v\n", *bug)
 	}

@@ -1,0 +1,251 @@
+// Package faultinject is the deterministic, seedable fault plane of the
+// testing stack: a Plan decides — purely from (seed, site, key) — whether a
+// given fault point misbehaves, and how (injected I/O error, ENOSPC, panic,
+// latency spike, torn metadata write). The decision function is a hash, not
+// a sequential RNG, so it is independent of goroutine scheduling: a
+// parallel exploration and a serial one see exactly the same faults at the
+// same points, which is what lets the engine's retry machinery make faults
+// fully transparent (byte-identical reports, see the chaos tests in
+// internal/paracrash).
+//
+// Every injection at a (site, key) pair is bounded by MaxPerPoint; once a
+// point has injected its quota it heals permanently, so a bounded retry
+// loop around any faultable operation deterministically succeeds. Plans
+// with an unbounded quota model hard faults: the engine then quarantines
+// the poisoned work as Skipped instead of aborting.
+//
+// A nil *Plan is a valid, allocation-free no-op (the same convention as
+// internal/obs), so fault points cost nothing when injection is off.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the fault flavours a Plan can inject.
+type Kind int
+
+const (
+	// KindErr is a generic injected I/O error.
+	KindErr Kind = iota
+	// KindENOSPC is an out-of-space error.
+	KindENOSPC
+	// KindLatency is a pure latency spike: the point sleeps, no error.
+	KindLatency
+	// KindTorn is a torn write: the caller applies a partial payload
+	// before surfacing the error (see pfs.Cluster.ApplyLowermost).
+	KindTorn
+	// KindPanic makes the fault point panic; FromPanic recognises the
+	// panic value so recovery wrappers can quarantine it.
+	KindPanic
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case KindErr:
+		return "io-error"
+	case KindENOSPC:
+		return "enospc"
+	case KindLatency:
+		return "latency"
+	case KindTorn:
+		return "torn-write"
+	case KindPanic:
+		return "panic"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// AllKinds is the default fault mix of a Plan with no explicit Kinds.
+var AllKinds = []Kind{KindErr, KindENOSPC, KindLatency, KindTorn, KindPanic}
+
+// Config parameterises a Plan.
+type Config struct {
+	// Seed selects the deterministic fault pattern.
+	Seed int64
+	// Rate is the per-point injection probability in [0, 1]; values
+	// outside the range are clamped. 0 disables injection.
+	Rate float64
+	// Kinds is the fault mix to draw from (nil/empty = AllKinds).
+	Kinds []Kind
+	// Sites, when non-empty, restricts injection to the named fault
+	// sites (e.g. "pfs/apply"); other sites never fault.
+	Sites []string
+	// MaxPerPoint bounds injections per (site, key) pair; after the quota
+	// the point heals permanently (0 = default 1). A very large value
+	// models a hard fault that never heals.
+	MaxPerPoint int
+	// Latency is the sleep for KindLatency injections (0 = default 200µs).
+	Latency time.Duration
+}
+
+// Error is the error value surfaced by injected faults. Use Is to
+// distinguish injected errors from genuine engine errors.
+type Error struct {
+	Kind Kind
+	Site string
+	Key  string
+}
+
+// Error renders the injected fault; ENOSPC mimics the errno text.
+func (e *Error) Error() string {
+	if e.Kind == KindENOSPC {
+		return fmt.Sprintf("faultinject: no space left on device (site %s, key %s)", e.Site, e.Key)
+	}
+	return fmt.Sprintf("faultinject: injected %s (site %s, key %s)", e.Kind, e.Site, e.Key)
+}
+
+// Is reports whether err is (or wraps) an injected fault.
+func Is(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe)
+}
+
+// panicValue wraps the injected error carried by a KindPanic fault so
+// FromPanic can tell injected panics from genuine ones.
+type panicValue struct{ err *Error }
+
+// FromPanic recognises a recovered panic value produced by an injected
+// KindPanic fault and returns its error.
+func FromPanic(v any) (*Error, bool) {
+	if pv, ok := v.(panicValue); ok {
+		return pv.err, true
+	}
+	return nil, false
+}
+
+// Plan is an armed fault configuration. Methods are safe for concurrent
+// use; a nil Plan never injects.
+type Plan struct {
+	cfg   Config
+	sites map[string]bool
+
+	mu   sync.Mutex
+	hits map[string]int // per-(site, key) injections so far
+
+	injected int64 // total injections (all kinds)
+}
+
+// New arms a Plan over cfg. A rate of 0 yields a Plan that never injects
+// (equivalent to a nil Plan).
+func New(cfg Config) *Plan {
+	if cfg.Rate < 0 {
+		cfg.Rate = 0
+	}
+	if cfg.Rate > 1 {
+		cfg.Rate = 1
+	}
+	if len(cfg.Kinds) == 0 {
+		cfg.Kinds = AllKinds
+	}
+	if cfg.MaxPerPoint <= 0 {
+		cfg.MaxPerPoint = 1
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 200 * time.Microsecond
+	}
+	p := &Plan{cfg: cfg, hits: map[string]int{}}
+	if len(cfg.Sites) > 0 {
+		p.sites = map[string]bool{}
+		for _, s := range cfg.Sites {
+			p.sites[s] = true
+		}
+	}
+	return p
+}
+
+// fnv64a hashes the byte string with FNV-1a (inlined to keep the decision
+// function self-contained and stable).
+func fnv64a(parts ...string) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for _, s := range parts {
+		for i := 0; i < len(s); i++ {
+			mix(s[i])
+		}
+		mix(0) // separator so ("ab","c") != ("a","bc")
+	}
+	return h
+}
+
+// decide returns the fault kind drawn for (site, key), or false when the
+// point does not fault under this plan. Pure function of the config.
+func (p *Plan) decide(site, key string) (Kind, bool) {
+	if p.sites != nil && !p.sites[site] {
+		return 0, false
+	}
+	seed := fmt.Sprintf("%d", p.cfg.Seed)
+	h := fnv64a(seed, site, key)
+	// 53 uniform bits -> [0, 1).
+	if float64(h>>11)/(1<<53) >= p.cfg.Rate {
+		return 0, false
+	}
+	h2 := fnv64a(seed, site, key, "kind")
+	return p.cfg.Kinds[h2%uint64(len(p.cfg.Kinds))], true
+}
+
+// take consumes one injection slot for (site, key); false means the point
+// has already injected its quota and is healed.
+func (p *Plan) take(site, key string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := site + "\x00" + key
+	if p.hits[k] >= p.cfg.MaxPerPoint {
+		return false
+	}
+	p.hits[k]++
+	p.injected++
+	return true
+}
+
+// Point is a fault point: it may sleep (KindLatency), return an injected
+// error (KindErr, KindENOSPC, KindTorn) or panic (KindPanic). Callers that
+// cannot tolerate a torn payload treat KindTorn as a plain error. Nil-safe.
+func (p *Plan) Point(site, key string) error {
+	if p == nil || p.cfg.Rate == 0 {
+		return nil
+	}
+	kind, ok := p.decide(site, key)
+	if !ok || !p.take(site, key) {
+		return nil
+	}
+	switch kind {
+	case KindLatency:
+		time.Sleep(p.cfg.Latency)
+		return nil
+	case KindPanic:
+		panic(panicValue{&Error{Kind: KindPanic, Site: site, Key: key}})
+	default:
+		return &Error{Kind: kind, Site: site, Key: key}
+	}
+}
+
+// Sleep is the timing-only fault point for code that cannot surface errors
+// (the crash-state emulator): any fault drawn for (site, key) degrades to
+// a latency spike. Nil-safe.
+func (p *Plan) Sleep(site, key string) {
+	if p == nil || p.cfg.Rate == 0 {
+		return
+	}
+	if _, ok := p.decide(site, key); ok && p.take(site, key) {
+		time.Sleep(p.cfg.Latency)
+	}
+}
+
+// Injected returns the total number of injections performed so far.
+func (p *Plan) Injected() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}

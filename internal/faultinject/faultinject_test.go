@@ -1,0 +1,211 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilPlanIsNoOp: the nil Plan contract — every method is safe and inert.
+func TestNilPlanIsNoOp(t *testing.T) {
+	var p *Plan
+	if err := p.Point("pfs/apply", "s0"); err != nil {
+		t.Fatalf("nil plan injected: %v", err)
+	}
+	p.Sleep("emulate/front", "f0")
+	if n := p.Injected(); n != 0 {
+		t.Fatalf("nil plan counted %d injections", n)
+	}
+}
+
+// TestZeroRateNeverInjects: Rate 0 must behave exactly like a nil plan.
+func TestZeroRateNeverInjects(t *testing.T) {
+	p := New(Config{Seed: 1, Rate: 0})
+	for i := 0; i < 1000; i++ {
+		if err := p.Point("site", fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatalf("rate-0 plan injected: %v", err)
+		}
+	}
+	if p.Injected() != 0 {
+		t.Fatalf("rate-0 plan counted %d injections", p.Injected())
+	}
+}
+
+// TestDecideIsDeterministic: two plans with the same config draw identical
+// fault decisions for identical (site, key) pairs — the property that makes
+// faults schedule-independent.
+func TestDecideIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Rate: 0.5}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		site := fmt.Sprintf("site%d", i%3)
+		key := fmt.Sprintf("key%d", i)
+		ka, oka := a.decide(site, key)
+		kb, okb := b.decide(site, key)
+		if oka != okb || ka != kb {
+			t.Fatalf("plans diverge at (%s,%s): (%v,%v) vs (%v,%v)", site, key, ka, oka, kb, okb)
+		}
+	}
+}
+
+// TestSeedChangesPattern: different seeds must draw different fault sets
+// (overwhelmingly likely over 500 points at rate 0.5).
+func TestSeedChangesPattern(t *testing.T) {
+	a := New(Config{Seed: 1, Rate: 0.5})
+	b := New(Config{Seed: 2, Rate: 0.5})
+	diff := 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key%d", i)
+		_, oka := a.decide("s", key)
+		_, okb := b.decide("s", key)
+		if oka != okb {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 1 and 2 drew identical fault patterns over 500 points")
+	}
+}
+
+// TestRateIsRoughlyHonoured: at rate 0.3 over 2000 points the injection
+// fraction should land well inside [0.2, 0.4].
+func TestRateIsRoughlyHonoured(t *testing.T) {
+	p := New(Config{Seed: 7, Rate: 0.3})
+	hit := 0
+	for i := 0; i < 2000; i++ {
+		if _, ok := p.decide("s", fmt.Sprintf("k%d", i)); ok {
+			hit++
+		}
+	}
+	frac := float64(hit) / 2000
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("rate 0.3 produced injection fraction %.3f", frac)
+	}
+}
+
+// TestMaxPerPointHeals: a point injects exactly its quota, then heals —
+// the property a bounded retry loop relies on.
+func TestMaxPerPointHeals(t *testing.T) {
+	p := New(Config{Seed: 3, Rate: 1, Kinds: []Kind{KindErr}, MaxPerPoint: 2})
+	for i := 0; i < 2; i++ {
+		if err := p.Point("s", "k"); !Is(err) {
+			t.Fatalf("attempt %d: want injected error, got %v", i, err)
+		}
+	}
+	if err := p.Point("s", "k"); err != nil {
+		t.Fatalf("point did not heal after quota: %v", err)
+	}
+	if p.Injected() != 2 {
+		t.Fatalf("Injected() = %d, want 2", p.Injected())
+	}
+}
+
+// TestSitesFilter: a plan restricted to one site never faults others.
+func TestSitesFilter(t *testing.T) {
+	p := New(Config{Seed: 5, Rate: 1, Kinds: []Kind{KindErr}, Sites: []string{"pfs/apply"}})
+	if err := p.Point("pfs/recover", "x"); err != nil {
+		t.Fatalf("filtered site faulted: %v", err)
+	}
+	if err := p.Point("pfs/apply", "x"); !Is(err) {
+		t.Fatalf("allowed site did not fault: %v", err)
+	}
+}
+
+// TestIsAndWrapping: Is sees through fmt.Errorf %w wrapping and rejects
+// ordinary errors.
+func TestIsAndWrapping(t *testing.T) {
+	inner := &Error{Kind: KindENOSPC, Site: "s", Key: "k"}
+	if !Is(fmt.Errorf("outer: %w", inner)) {
+		t.Fatal("Is missed a wrapped injected error")
+	}
+	if Is(errors.New("genuine")) {
+		t.Fatal("Is claimed a genuine error")
+	}
+	if Is(nil) {
+		t.Fatal("Is claimed nil")
+	}
+}
+
+// TestPanicKind: KindPanic points panic with a value FromPanic recognises.
+func TestPanicKind(t *testing.T) {
+	p := New(Config{Seed: 11, Rate: 1, Kinds: []Kind{KindPanic}})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("KindPanic point did not panic")
+		}
+		fe, ok := FromPanic(v)
+		if !ok || fe.Kind != KindPanic {
+			t.Fatalf("FromPanic(%v) = %v, %v", v, fe, ok)
+		}
+		if _, ok := FromPanic("ordinary panic"); ok {
+			t.Fatal("FromPanic claimed an ordinary panic value")
+		}
+	}()
+	_ = p.Point("s", "k")
+}
+
+// TestSleepDegradesToLatency: Sleep never errors or panics, even for plans
+// whose mix is all panics, and still consumes the point's quota.
+func TestSleepDegradesToLatency(t *testing.T) {
+	p := New(Config{Seed: 13, Rate: 1, Kinds: []Kind{KindPanic}, Latency: time.Microsecond})
+	p.Sleep("s", "k")
+	if p.Injected() != 1 {
+		t.Fatalf("Sleep did not consume the quota: Injected() = %d", p.Injected())
+	}
+	// Quota spent: the error-surfacing Point on the same key is healed too.
+	if err := p.Point("s", "k"); err != nil {
+		t.Fatalf("point not healed after Sleep consumed quota: %v", err)
+	}
+}
+
+// TestConcurrentPoints: the quota bookkeeping is race-free and exact under
+// concurrent access (run with -race in CI).
+func TestConcurrentPoints(t *testing.T) {
+	p := New(Config{Seed: 17, Rate: 1, Kinds: []Kind{KindErr}, MaxPerPoint: 5})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	injected := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := p.Point("s", "shared"); err != nil {
+					mu.Lock()
+					injected++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if injected != 5 {
+		t.Fatalf("shared point injected %d times, want exactly MaxPerPoint=5", injected)
+	}
+}
+
+// TestErrorText: the ENOSPC flavour mimics the errno text so operators
+// grepping logs see the familiar phrase.
+func TestErrorText(t *testing.T) {
+	e := &Error{Kind: KindENOSPC, Site: "pfs/apply", Key: "s1"}
+	if want := "no space left on device"; !containsStr(e.Error(), want) {
+		t.Fatalf("ENOSPC error %q lacks %q", e.Error(), want)
+	}
+	for _, k := range AllKinds {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", int(k))
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -2,6 +2,7 @@ package fuzzcamp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"paracrash/internal/exps"
+	"paracrash/internal/faultinject"
 	"paracrash/internal/obs"
 	"paracrash/internal/paracrash"
 	"paracrash/internal/trace"
@@ -46,6 +48,19 @@ type Config struct {
 	// Obs, when non-nil, receives campaign counters and the explorer's own
 	// per-run metrics.
 	Obs *obs.Run
+	// Retry bounds per-crash-state fault recovery inside every explorer
+	// invocation (the zero value is the explorer's default policy).
+	Retry paracrash.RetryPolicy
+	// FaultRate > 0 arms the deterministic fault plane: every explorer
+	// invocation gets a fresh faultinject.Plan with this rate and FaultSeed,
+	// so each cell sees identical fault weather across its serial, parallel
+	// and pruned runs and the differential oracle stays sound. A cell whose
+	// faults never heal is retried once, then skipped and counted in
+	// Result.CellsFaulted — never fatal to the campaign.
+	FaultRate float64
+	// FaultSeed seeds the per-invocation fault plans (meaningful only with
+	// FaultRate > 0).
+	FaultSeed int64
 	// Inject is a test-only hook registered as a fourth oracle: a non-empty
 	// return marks the workload as violating with that detail string. The
 	// campaign treats the hook itself as the minimization predicate, so
@@ -108,8 +123,12 @@ type Result struct {
 	// an earlier one.
 	Duplicates int
 	// Errors records cells whose explorer runs failed outright.
-	Errors   []string
-	TimedOut bool
+	Errors []string
+	// CellsFaulted counts cells abandoned to injected-fault weather (or a
+	// quarantined panic) after one retry: coverage loss, not failure, so
+	// OK() ignores it.
+	CellsFaulted int
+	TimedOut     bool
 	// Canceled reports that the campaign's context was cancelled before
 	// every cell ran (daemon shutdown, job timeout).
 	Canceled bool
@@ -152,6 +171,9 @@ func (r *Result) Format() string {
 			reason = "time budget or cancellation"
 		}
 		fmt.Fprintf(&b, "cells skipped (%s): %d\n", reason, r.CellsSkipped)
+	}
+	if r.CellsFaulted > 0 {
+		fmt.Fprintf(&b, "cells abandoned to injected faults: %d\n", r.CellsFaulted)
 	}
 	if r.Canceled {
 		b.WriteString("campaign cancelled before completion\n")
@@ -201,7 +223,37 @@ func (c *campaign) explore(backend string, w paracrash.Workload, mode paracrash.
 	opts.LibModel = model
 	opts.Workers = workers
 	opts.Obs = c.obs
+	opts.Retry = c.cfg.Retry
+	if c.cfg.FaultRate > 0 {
+		// A fresh plan per invocation: injection decisions are seed+point
+		// hashes, so every run of a cell faces identical fault weather with
+		// its own healing quota — the differential oracle's serial and
+		// parallel runs degrade identically.
+		opts.Faults = faultinject.New(faultinject.Config{Seed: c.cfg.FaultSeed, Rate: c.cfg.FaultRate})
+	}
 	return paracrash.RunContext(c.ctx, fs, nil, w, opts)
+}
+
+// errCellPanic marks a cell whose oracle battery panicked; the recover in
+// evalCellSafe wraps the panic value so cellFaulted can classify it.
+var errCellPanic = errors.New("panic during cell evaluation")
+
+// evalCellSafe is evalCell with panic quarantine: a panic escaping the
+// engine's own recovery becomes an error instead of killing the campaign.
+func (c *campaign) evalCellSafe(backend string, prog *workloads.Program) (vs []*pending, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			vs = nil
+			err = fmt.Errorf("%w: %v", errCellPanic, p)
+		}
+	}()
+	return c.evalCell(backend, prog)
+}
+
+// cellFaulted classifies a cell error as fault weather (injected fault that
+// never healed, quarantined panic) rather than a genuine engine failure.
+func cellFaulted(err error) bool {
+	return faultinject.Is(err) || errors.Is(err, errCellPanic)
 }
 
 // runsClean executes the program (preamble + body, untraced) on a fresh
@@ -264,9 +316,12 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		wg          sync.WaitGroup
 		skipped     int
 		cancelSkips int
+		faulted     int
 		found       = map[int][]*pending{}
 		errs        = map[int]string{}
 	)
+	ctrFaulted := run.Counter("campaign/cells-faulted")
+	ctrCellRetries := run.Counter("campaign/cell-retries")
 	sem := make(chan struct{}, cfg.Workers)
 	for i, cl := range cells {
 		if ctx.Err() != nil {
@@ -282,14 +337,26 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		sem <- struct{}{}
 		go func() {
 			defer func() { <-sem; wg.Done() }()
-			vs, err := c.evalCell(cl.backend, cl.prog)
+			vs, err := c.evalCellSafe(cl.backend, cl.prog)
+			if err != nil && cellFaulted(err) && ctx.Err() == nil {
+				// One retry for fault weather; deterministic injection means
+				// this mostly matters for escaped panics and genuinely
+				// transient failures.
+				ctrCellRetries.Inc()
+				vs, err = c.evalCellSafe(cl.backend, cl.prog)
+			}
 			ctrCells.Inc()
 			mu.Lock()
 			defer mu.Unlock()
 			// A cell aborted by campaign cancellation is not an engine
 			// failure; it is accounted under Canceled instead.
 			if err != nil && ctx.Err() == nil {
-				errs[i] = fmt.Sprintf("%s on %s: %v", cl.prog.Name(), cl.backend, err)
+				if cellFaulted(err) {
+					faulted++
+					ctrFaulted.Inc()
+				} else {
+					errs[i] = fmt.Sprintf("%s on %s: %v", cl.prog.Name(), cl.backend, err)
+				}
 			}
 			if len(vs) > 0 {
 				found[i] = vs
@@ -303,6 +370,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		Backends:     cfg.Backends,
 		Cells:        len(cells),
 		CellsSkipped: skipped + cancelSkips,
+		CellsFaulted: faulted,
 		TimedOut:     skipped > 0,
 		Canceled:     ctx.Err() != nil,
 	}

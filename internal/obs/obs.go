@@ -48,6 +48,10 @@ const (
 	// PhaseMinimize covers delta-debugging minimization of an oracle
 	// violation (nested inside PhaseCampaign).
 	PhaseMinimize = "minimize"
+	// PhaseResume covers checkpoint-journal loading: parsing previously
+	// completed crash-state verdicts so exploration continues from the
+	// frontier instead of restarting.
+	PhaseResume = "resume"
 )
 
 // nopStop is the stop function handed out by nil runs; returning a shared

@@ -1,0 +1,298 @@
+// Checkpoint/resume: the explorer journals every completed crash-state
+// verdict to a versioned JSONL file so an interrupted run (crash, kill,
+// power loss — the very failures this tool studies) can be resumed without
+// redoing finished work.
+//
+// The journal's first line is a header carrying the format version and a
+// fingerprint of every option that influences verdicts (workload, file
+// system, mode, models, emulator bounds — but not Workers, Retry, Faults or
+// Obs, which are verdict-transparent). On resume a mismatched header
+// discards the journal with a warning instead of poisoning the run with
+// verdicts computed under different rules. A truncated tail record — the
+// expected artifact of dying mid-write — is likewise dropped with a
+// warning; everything before it is kept.
+//
+// Durability uses the classic temp-file + rename + fsync discipline this
+// project tests other systems for: each flush rewrites the whole journal to
+// a temp file, fsyncs it, renames it over the old journal and fsyncs the
+// directory, so the file on disk is always a complete prefix-consistent
+// journal. Quarantined (skipped) verdicts are never journaled: a resumed
+// run re-attempts them, since the fault that poisoned them may be gone.
+package paracrash
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// checkpointVersion is the journal format version; bump on any change to
+// ckptHeader or ckptRecord.
+const checkpointVersion = 1
+
+// defaultCheckpointEvery is the record-batch size between automatic
+// flushes; the journal is also flushed on every run exit path.
+const defaultCheckpointEvery = 32
+
+// ckptHeader is the journal's first line.
+type ckptHeader struct {
+	Version int    `json:"version"`
+	Config  string `json:"config"`
+}
+
+// ckptRecord is one journaled crash-state verdict.
+type ckptRecord struct {
+	// Key is the crash state's front|keep identity (stateKey).
+	Key         string `json:"key"`
+	Consistent  bool   `json:"consistent,omitempty"`
+	Layer       string `json:"layer,omitempty"`
+	Consequence string `json:"consequence,omitempty"`
+	State       string `json:"state,omitempty"`
+	PFSLegalN   int    `json:"pfs_legal_n,omitempty"`
+	LibLegalN   int    `json:"lib_legal_n,omitempty"`
+}
+
+// toResult converts a journaled record back into the engine's verdict form.
+func (r ckptRecord) toResult() checkResult {
+	return checkResult{
+		consistent:  r.Consistent,
+		layer:       r.Layer,
+		consequence: r.Consequence,
+		state:       r.State,
+		pfsLegalN:   r.PFSLegalN,
+		libLegalN:   r.LibLegalN,
+	}
+}
+
+// Checkpoint is a crash-state verdict journal bound to one file. Create it
+// with OpenCheckpoint, hand it to Options.Checkpoint, and the run loads any
+// compatible previous journal, continues from the frontier and keeps
+// journaling. Safe for concurrent use (the engine records from the merge
+// goroutine while callers may Flush).
+type Checkpoint struct {
+	path string
+
+	// Every is the number of new records between automatic flushes
+	// (defaultCheckpointEvery when 0). The run always flushes on exit, so
+	// Every only bounds how much work an unclean death can lose.
+	Every int
+
+	mu       sync.Mutex
+	header   ckptHeader
+	records  map[string]ckptRecord
+	order    []string // insertion order, for stable journal files
+	resumed  int
+	warnings []string
+	dirty    int
+}
+
+// OpenCheckpoint binds a checkpoint journal to path. The file is not read
+// until a run resumes from it, and not created until the first flush.
+func OpenCheckpoint(path string) *Checkpoint {
+	return &Checkpoint{path: path, records: map[string]ckptRecord{}}
+}
+
+// Path returns the journal file path.
+func (c *Checkpoint) Path() string { return c.path }
+
+// Resumed returns the number of verdicts loaded from the journal by the
+// last resume.
+func (c *Checkpoint) Resumed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumed
+}
+
+// Warnings returns the non-fatal anomalies of the last resume (truncated
+// tail record, configuration mismatch, duplicate keys).
+func (c *Checkpoint) Warnings() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.warnings...)
+}
+
+// resume loads the journal for a run whose verdict-relevant configuration
+// fingerprints to config. A missing file is a fresh start; an incompatible
+// or damaged one is discarded with warnings. Only I/O errors other than
+// non-existence are fatal.
+func (c *Checkpoint) resume(config string) (map[string]checkResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.header = ckptHeader{Version: checkpointVersion, Config: config}
+	c.records = map[string]ckptRecord{}
+	c.order = nil
+	c.resumed = 0
+	c.warnings = nil
+	c.dirty = 0
+
+	f, err := os.Open(c.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("reading checkpoint %s: %w", c.path, err)
+		}
+		c.warnings = append(c.warnings, "checkpoint file is empty; starting fresh")
+		return nil, nil
+	}
+	var hdr ckptHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		c.warnings = append(c.warnings, fmt.Sprintf("unreadable checkpoint header (%v); starting fresh", err))
+		return nil, nil
+	}
+	if hdr.Version != checkpointVersion {
+		c.warnings = append(c.warnings, fmt.Sprintf("checkpoint version %d != %d; starting fresh", hdr.Version, checkpointVersion))
+		return nil, nil
+	}
+	if hdr.Config != config {
+		c.warnings = append(c.warnings, "checkpoint was written by a run with a different configuration; starting fresh")
+		return nil, nil
+	}
+
+	out := map[string]checkResult{}
+	line := 1
+	for sc.Scan() {
+		line++
+		var rec ckptRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.Key == "" {
+			// A torn tail write is the normal way an interrupted run dies;
+			// anything after it is untrustworthy.
+			c.warnings = append(c.warnings, fmt.Sprintf("checkpoint record at line %d is damaged; dropping it and the rest of the journal", line))
+			break
+		}
+		if _, dup := c.records[rec.Key]; dup {
+			c.warnings = append(c.warnings, fmt.Sprintf("duplicate checkpoint record at line %d ignored", line))
+			continue
+		}
+		c.records[rec.Key] = rec
+		c.order = append(c.order, rec.Key)
+		out[rec.Key] = rec.toResult()
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading checkpoint %s: %w", c.path, err)
+	}
+	c.resumed = len(out)
+	return out, nil
+}
+
+// record journals one freshly computed verdict, flushing every Every new
+// records. Skipped (quarantined) verdicts are not journaled so a resumed
+// run re-attempts them.
+func (c *Checkpoint) record(key string, r checkResult) error {
+	if r.skipped {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.records[key]; ok {
+		return nil
+	}
+	rec := ckptRecord{
+		Key:         key,
+		Consistent:  r.consistent,
+		Layer:       r.layer,
+		Consequence: r.consequence,
+		State:       r.state,
+		PFSLegalN:   r.pfsLegalN,
+		LibLegalN:   r.libLegalN,
+	}
+	c.records[key] = rec
+	c.order = append(c.order, key)
+	c.dirty++
+	every := c.Every
+	if every <= 0 {
+		every = defaultCheckpointEvery
+	}
+	if c.dirty >= every {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// Flush writes the journal to disk if any records were added since the last
+// flush. The run calls it on every exit path; callers may call it at any
+// time.
+func (c *Checkpoint) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dirty == 0 {
+		return nil
+	}
+	return c.flushLocked()
+}
+
+// flushLocked rewrites the whole journal atomically: temp file in the same
+// directory, fsync, rename over the journal, fsync the directory.
+func (c *Checkpoint) flushLocked() error {
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(c.header); err != nil {
+		tmp.Close()
+		return err
+	}
+	for _, key := range c.order {
+		if err := enc.Encode(c.records[key]); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	c.dirty = 0
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's dentry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// checkpointConfig fingerprints every option that influences crash-state
+// verdicts. Workers, Retry, Faults and Obs are deliberately excluded: they
+// change scheduling, effort and fault weather, never a verdict, so a
+// journal written under one of each is valid under any other.
+func checkpointConfig(workload, fsName string, opts Options) string {
+	return fmt.Sprintf("v%d|%s|%s|%s|pfs=%d|lib=%d|k=%d|fm=%d|mf=%d|ms=%d|mlo=%d|mls=%d|nosem=%t|notsp=%t",
+		checkpointVersion, workload, fsName, opts.Mode,
+		opts.PFSModel, opts.LibModel,
+		opts.Emulator.K, opts.Emulator.FrontMode, opts.Emulator.MaxFronts, opts.Emulator.MaxStates,
+		opts.MaxLayerOps, opts.MaxLegalStates,
+		opts.DisableSemanticPruning, opts.DisableTSP)
+}

@@ -1,0 +1,227 @@
+package paracrash
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func ckptAt(t *testing.T) *Checkpoint {
+	t.Helper()
+	return OpenCheckpoint(filepath.Join(t.TempDir(), "ckpt.jsonl"))
+}
+
+// TestCheckpointRoundTrip journals verdicts, flushes, and resumes them from
+// a fresh Checkpoint over the same file.
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := ckptAt(t)
+	if got, err := c.resume("cfg"); err != nil || len(got) != 0 {
+		t.Fatalf("fresh resume = %v, %v", got, err)
+	}
+	want := map[string]checkResult{
+		"f1|k1": {consistent: true, pfsLegalN: 3, libLegalN: 2},
+		"f1|k2": {consistent: false, layer: "PFS", consequence: "data loss", state: "s", pfsLegalN: 1},
+		"f2|k1": {consistent: true},
+	}
+	for k, r := range want {
+		if err := c.record(k, r); err != nil {
+			t.Fatalf("record(%s): %v", k, err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	c2 := OpenCheckpoint(c.Path())
+	got, err := c2.resume("cfg")
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("resumed %d records, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("resumed %s = %+v, want %+v", k, got[k], w)
+		}
+	}
+	if c2.Resumed() != 3 || len(c2.Warnings()) != 0 {
+		t.Fatalf("Resumed=%d Warnings=%v", c2.Resumed(), c2.Warnings())
+	}
+}
+
+// TestCheckpointSkippedNotJournaled: quarantined verdicts must never be
+// journaled — a resumed run re-attempts them.
+func TestCheckpointSkippedNotJournaled(t *testing.T) {
+	c := ckptAt(t)
+	if _, err := c.resume("cfg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.record("f|skip", checkResult{skipped: true, consequence: "quarantined"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.record("f|ok", checkResult{consistent: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenCheckpoint(c.Path()).resume("cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["f|skip"]; ok {
+		t.Fatal("skipped verdict was journaled")
+	}
+	if _, ok := got["f|ok"]; !ok {
+		t.Fatal("real verdict missing from journal")
+	}
+}
+
+// TestCheckpointTruncatedTail: chopping bytes off the last record — the
+// artifact of dying mid-write when rename atomicity is lost — drops that
+// record with a warning and keeps the prefix.
+func TestCheckpointTruncatedTail(t *testing.T) {
+	c := ckptAt(t)
+	if _, err := c.resume("cfg"); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a|1", "a|2", "a|3"} {
+		if err := c.record(k, checkResult{consistent: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(c.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.Path(), data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := OpenCheckpoint(c.Path())
+	got, err := c2.resume("cfg")
+	if err != nil {
+		t.Fatalf("resume over truncated journal: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("resumed %d records from truncated journal, want the 2 intact ones", len(got))
+	}
+	warns := strings.Join(c2.Warnings(), "\n")
+	if !strings.Contains(warns, "damaged") {
+		t.Fatalf("no truncation warning, got %q", warns)
+	}
+}
+
+// TestCheckpointConfigMismatch: a journal from a different configuration is
+// discarded with a warning, never resumed.
+func TestCheckpointConfigMismatch(t *testing.T) {
+	c := ckptAt(t)
+	if _, err := c.resume("cfg-A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.record("a|1", checkResult{consistent: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := OpenCheckpoint(c.Path())
+	got, err := c2.resume("cfg-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || c2.Resumed() != 0 {
+		t.Fatalf("resumed %d records across a config change", len(got))
+	}
+	if warns := strings.Join(c2.Warnings(), "\n"); !strings.Contains(warns, "different configuration") {
+		t.Fatalf("no config-mismatch warning, got %q", warns)
+	}
+}
+
+// TestCheckpointVersionAndHeaderDamage: wrong version or an unparsable
+// header both mean a fresh start with a warning, never an error.
+func TestCheckpointVersionAndHeaderDamage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	cases := map[string]string{
+		"version": `{"version":99,"config":"cfg"}` + "\n",
+		"garbage": "not json at all\n",
+		"empty":   "",
+		"dupkeys": `{"version":1,"config":"cfg"}` + "\n" + `{"key":"a"}` + "\n" + `{"key":"a"}` + "\n",
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c := OpenCheckpoint(path)
+			got, err := c.resume("cfg")
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if len(c.Warnings()) == 0 {
+				t.Fatalf("no warning for %s journal", name)
+			}
+			if name == "dupkeys" {
+				if len(got) != 1 {
+					t.Fatalf("dup journal resumed %d records, want 1", len(got))
+				}
+			} else if len(got) != 0 {
+				t.Fatalf("%s journal resumed %d records, want 0", name, len(got))
+			}
+		})
+	}
+}
+
+// TestCheckpointAutoFlush: Every bounds how much an unclean death loses —
+// the journal must hit disk without an explicit Flush once Every records
+// accumulate.
+func TestCheckpointAutoFlush(t *testing.T) {
+	c := ckptAt(t)
+	c.Every = 2
+	if _, err := c.resume("cfg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.record("a|1", checkResult{consistent: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(c.Path()); !os.IsNotExist(err) {
+		t.Fatalf("journal flushed before Every records (stat err = %v)", err)
+	}
+	if err := c.record("a|2", checkResult{consistent: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(c.Path()); err != nil {
+		t.Fatalf("journal not flushed at Every records: %v", err)
+	}
+}
+
+// TestCheckpointConfigCoversVerdictKnobs: the fingerprint must move when a
+// verdict-relevant option moves, and stay put for verdict-transparent ones.
+func TestCheckpointConfigCoversVerdictKnobs(t *testing.T) {
+	base := DefaultOptions()
+	fp := checkpointConfig("ARVR", "beegfs", base)
+
+	changed := DefaultOptions()
+	changed.Mode = ModeOptimized
+	if checkpointConfig("ARVR", "beegfs", changed) == fp {
+		t.Error("fingerprint ignores Mode")
+	}
+	if checkpointConfig("WAL", "beegfs", base) == fp {
+		t.Error("fingerprint ignores workload")
+	}
+	if checkpointConfig("ARVR", "lustre", base) == fp {
+		t.Error("fingerprint ignores file system")
+	}
+
+	transparent := DefaultOptions()
+	transparent.Workers = 7
+	transparent.Retry = RetryPolicy{MaxAttempts: 9}
+	if checkpointConfig("ARVR", "beegfs", transparent) != fp {
+		t.Error("fingerprint moves on verdict-transparent options (Workers/Retry)")
+	}
+}

@@ -2,6 +2,7 @@ package paracrash
 
 import (
 	"paracrash/internal/causality"
+	"paracrash/internal/faultinject"
 	"paracrash/internal/obs"
 	"paracrash/internal/trace"
 )
@@ -57,6 +58,11 @@ type Emulator struct {
 	// Obs, when set, receives generation counters (emulate/fronts,
 	// emulate/states). Nil disables collection at zero cost.
 	Obs *obs.Run
+	// Faults, when set, perturbs enumeration timing at the per-front fault
+	// point. Generation must stay deterministic, so any fault drawn here
+	// degrades to a latency spike (Plan.Sleep) — the hook exists to shake
+	// out scheduling assumptions, not to corrupt the state list.
+	Faults *faultinject.Plan
 }
 
 // NewEmulator prepares crash emulation over the trace graph. The universe
@@ -112,6 +118,7 @@ func (e *Emulator) Generate(cfg EmulatorConfig, visit func(CrashState) bool) int
 
 	perFront := func(front causality.Bitset) bool {
 		ctrFronts.Inc()
+		e.Faults.Sleep("emulate/front", front.Key())
 		// Victim candidates: lowermost ops inside the front.
 		var cands []int
 		for _, i := range e.Universe {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"paracrash/internal/causality"
+	"paracrash/internal/faultinject"
 	"paracrash/internal/obs"
 	"paracrash/internal/pfs"
 	"paracrash/internal/trace"
@@ -156,6 +157,58 @@ type Options struct {
 	// strictly passive: it never alters visiting order, pruning or caching,
 	// so the report stays byte-identical with metrics on or off.
 	Obs *obs.Run
+
+	// Retry bounds the engine's fault recovery: how often a crash state
+	// whose reconstruction or verdict failed (injected fault, backend
+	// panic) is re-attempted before it is quarantined as a Skipped report
+	// entry. The zero value means 3 attempts with a 2ms initial backoff.
+	Retry RetryPolicy
+
+	// Faults, when non-nil, arms the deterministic fault plane: the plan is
+	// installed on the primary cluster, every worker clone and the emulator
+	// once tracing has finished (the traced execution itself never faults —
+	// the plane targets the checker's reconstruction machinery). Because
+	// injection is schedule-independent and bounded (see internal/
+	// faultinject), a run whose faults all heal within Retry.MaxAttempts
+	// produces a report byte-identical to an unfaulted run.
+	Faults *faultinject.Plan
+
+	// Checkpoint, when non-nil, journals every completed crash-state
+	// verdict to a versioned on-disk journal and, when the journal already
+	// holds verdicts from an interrupted run with the same configuration,
+	// resumes from them: journaled states are charged but not recomputed.
+	Checkpoint *Checkpoint
+}
+
+// RetryPolicy bounds per-crash-state fault recovery.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per crash state
+	// (0 = default 3, i.e. two retries).
+	MaxAttempts int
+	// Backoff is the sleep before the first retry, doubling per further
+	// retry (0 = default 2ms).
+	Backoff time.Duration
+}
+
+// attempts resolves the attempt budget.
+func (r RetryPolicy) attempts() int {
+	if r.MaxAttempts <= 0 {
+		return 3
+	}
+	return r.MaxAttempts
+}
+
+// backoffAt returns the sleep before attempt a (a >= 1; attempt 0 never
+// sleeps): exponential with attempt number.
+func (r RetryPolicy) backoffAt(a int) time.Duration {
+	d := r.Backoff
+	if d <= 0 {
+		d = 2 * time.Millisecond
+	}
+	for ; a > 1; a-- {
+		d *= 2
+	}
+	return d
 }
 
 // DefaultOptions mirrors the paper's evaluation settings: k=1 victims, all
@@ -221,6 +274,16 @@ func StateDigest(layer, content string) string {
 	return layer + ":" + hex.EncodeToString(sum[:8])
 }
 
+// SkippedState records one crash state the engine quarantined: every
+// reconstruction attempt failed (injected fault that never healed, backend
+// panic), so the state carries no verdict. Quarantine is the robustness
+// contract's last resort — a poisoned state becomes a structured report
+// entry instead of aborting the run.
+type SkippedState struct {
+	Victims []string
+	Reason  string
+}
+
 // Report is the outcome of testing one workload against one file system.
 type Report struct {
 	Program string
@@ -233,7 +296,10 @@ type Report struct {
 	Inconsistent int
 	LibOnly      int
 	States       []InconsistentState
-	Stats        Stats
+	// Skipped lists quarantined crash states (no verdict after every retry
+	// attempt); empty on healthy runs.
+	Skipped []SkippedState `json:",omitempty"`
+	Stats   Stats
 }
 
 // Format renders the report as the CLI's crash-consistency report.
@@ -245,6 +311,9 @@ func (r *Report) Format() string {
 	fmt.Fprintf(&b, "legal states: %d pfs, %d lib | restores: %d servers, %d ops replayed | %.3fs\n",
 		r.Stats.LegalPFSStates, r.Stats.LegalLibStates, r.Stats.ServerRestores, r.Stats.OpsReplayed, r.Stats.Duration.Seconds())
 	fmt.Fprintf(&b, "inconsistent crash states: %d (library-only: %d)\n", r.Inconsistent, r.LibOnly)
+	if n := len(r.Skipped); n > 0 {
+		fmt.Fprintf(&b, "quarantined crash states (skipped after retries): %d\n", n)
+	}
 	if len(r.Bugs) == 0 {
 		b.WriteString("no crash-consistency bugs found\n")
 		return b.String()
@@ -277,6 +346,11 @@ type checkResult struct {
 	// recomputing the sets.
 	pfsLegalN int
 	libLegalN int
+	// skipped marks a quarantined state: every attempt faulted, so there is
+	// no verdict. consequence then holds the quarantine reason. Skipped
+	// states are charged nothing (their attempts were rolled back) and are
+	// reported via Report.Skipped, never as inconsistencies.
+	skipped bool
 }
 
 // session holds everything needed to reconstruct and check crash states.
@@ -313,6 +387,13 @@ type session struct {
 	// it and skips the redundant reconstruction.
 	outcomeFor func(key string) (checkResult, bool)
 
+	// resumed holds verdicts replayed from a checkpoint journal, keyed like
+	// checkCache. Read-only during exploration (shared with shard workers).
+	resumed map[string]checkResult
+	// ckpt, on the primary session only, receives every freshly computed
+	// verdict for journaling.
+	ckpt *Checkpoint
+
 	stats Stats
 
 	// Observability handles, pre-resolved so the per-state hot path pays
@@ -327,6 +408,9 @@ type session struct {
 	ctrBad        *obs.Counter
 	ctrRestores   *obs.Counter
 	ctrReplayed   *obs.Counter
+	ctrFaults     *obs.Counter
+	ctrRetries    *obs.Counter
+	ctrSkipped    *obs.Counter
 	gaugeLegalPFS *obs.Gauge
 	gaugeLegalLib *obs.Gauge
 }
@@ -341,6 +425,9 @@ func (s *session) bindObs(r *obs.Run, prefix string) {
 	s.ctrBad = r.Counter(prefix + "states/inconsistent")
 	s.ctrRestores = r.Counter(prefix + "restores/servers")
 	s.ctrReplayed = r.Counter(prefix + "ops/replayed")
+	s.ctrFaults = r.Counter(prefix + "fault/injected")
+	s.ctrRetries = r.Counter(prefix + "fault/retries")
+	s.ctrSkipped = r.Counter(prefix + "states/skipped")
 	s.gaugeLegalPFS = r.Gauge(prefix + "legal/pfs")
 	s.gaugeLegalLib = r.Gauge(prefix + "legal/lib")
 }
@@ -412,11 +499,19 @@ func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload,
 		return nil, fmt.Errorf("paracrash: run cancelled: %w", err)
 	}
 
+	// Arm the fault plane only now: the traced execution must stay
+	// fault-free (the plane targets the checker's reconstruction machinery,
+	// not the workload under test). A nil opts.Faults clears a stale plan.
+	if fa, ok := fs.(pfs.FaultAware); ok {
+		fa.SetFaults(opts.Faults)
+	}
+
 	// Phase 2: causality analysis.
 	stopGraph := opts.Obs.Phase(obs.PhaseGraph)
 	g := causality.Build(ops)
 	emu := NewEmulator(g, fs.PersistConfig())
 	emu.Obs = opts.Obs
+	emu.Faults = opts.Faults
 
 	s := &session{
 		fs: fs, lib: lib, opts: opts, ctx: ctx,
@@ -455,12 +550,23 @@ func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload,
 		}
 	}
 
-	// Golden (strict) states for consequence reporting.
+	// Golden (strict) states for consequence reporting. The replay passes
+	// through faultable mount paths, so it gets the same bounded retry as a
+	// crash-state check; a fault that never heals fails the run here — the
+	// engine cannot judge anything without the golden state.
 	allPFS := make([]int, s.pfsOps.Len())
 	for i := range allPFS {
 		allPFS[i] = i
 	}
-	s.goldenPFS = s.replayPFS(allPFS)
+	if err := s.withRetry(func() error {
+		st, err := s.replayPFS(allPFS)
+		if err == nil {
+			s.goldenPFS = st
+		}
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("paracrash: golden replay: %w", err)
+	}
 	if s.libOps != nil {
 		allLib := make([]int, s.libOps.Len())
 		for i := range allLib {
@@ -469,6 +575,28 @@ func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload,
 		s.goldenLib, _ = s.replayLib(allLib)
 	}
 	stopGraph()
+
+	// Checkpoint/resume: load previously journaled verdicts (if any) and
+	// keep journaling from here on. The journal is flushed on every exit
+	// path — success, failure and cancellation alike.
+	if opts.Checkpoint != nil {
+		stopResume := opts.Obs.Phase(obs.PhaseResume)
+		resumed, err := opts.Checkpoint.resume(checkpointConfig(w.Name(), fs.Name(), opts))
+		if err != nil {
+			stopResume()
+			return nil, fmt.Errorf("paracrash: resume: %w", err)
+		}
+		s.resumed = resumed
+		s.ckpt = opts.Checkpoint
+		opts.Obs.Counter("resume/verdicts").Add(int64(len(resumed)))
+		opts.Obs.Counter("resume/warnings").Add(int64(len(opts.Checkpoint.Warnings())))
+		stopResume()
+		defer func() {
+			if err := opts.Checkpoint.Flush(); err != nil {
+				opts.Obs.Counter("checkpoint/flush-errors").Inc()
+			}
+		}()
+	}
 
 	// Phase 3: crash emulation + checking.
 	emuCfg := opts.Emulator
@@ -484,7 +612,10 @@ func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload,
 	bugs := NewBugSet()
 	classifier := NewClassifier(emu, func(cs CrashState) (bool, string) {
 		res := s.check(cs)
-		return res.consistent, res.state
+		// A quarantined probe state carries no verdict; report it as
+		// consistent so classification degrades gracefully instead of
+		// inventing causes from a state we could not reconstruct.
+		return res.consistent || res.skipped, res.state
 	})
 
 	seenStates := map[string]bool{} // dedup inconsistent states by recovered content
@@ -502,6 +633,14 @@ func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload,
 		res := s.check(cs)
 		s.stats.StatesChecked++
 		s.ctrChecked.Inc()
+		if res.skipped {
+			var victims []string
+			for _, v := range cs.Victims {
+				victims = append(victims, g.Ops[v].Key())
+			}
+			report.Skipped = append(report.Skipped, SkippedState{Victims: victims, Reason: res.consequence})
+			return
+		}
 		if res.consistent {
 			return
 		}
@@ -630,25 +769,30 @@ func (s *session) client(proc string) (pfs.Client, error) {
 }
 
 // reconstruct restores the initial snapshot and applies the kept lowermost
-// ops in recording order.
-func (s *session) reconstruct(cs CrashState) {
+// ops in recording order. An injected replay fault aborts the attempt (the
+// retry loop rolls back its charges); genuine application errors mean the
+// op's effect is lost (its target was never persisted) — exactly the crash
+// semantics we emulate.
+func (s *session) reconstruct(cs CrashState) error {
 	s.fs.Restore(s.initial)
 	s.chargeRestores(len(s.fs.Procs()))
 	for _, i := range s.emu.Universe {
 		if !cs.Keep.Get(i) {
 			continue
 		}
-		// Application errors mean the op's effect is lost (its target was
-		// never persisted) — exactly the crash semantics we emulate.
-		_ = s.fs.ApplyLowermost(s.g.Ops[i])
+		if err := s.fs.ApplyLowermost(s.g.Ops[i]); err != nil && faultinject.Is(err) {
+			return err
+		}
 		s.chargeReplayed(1)
 	}
+	return nil
 }
 
 // check reconstructs the crash state, runs recovery and performs the
 // top-down layer checks. Results are cached per (front, keep). States that
 // violate commit durability cannot occur and count as consistent (the
-// classifier probes such combinations).
+// classifier probes such combinations). Faulted attempts are retried per
+// Options.Retry; an exhausted state comes back skipped.
 func (s *session) check(cs CrashState) checkResult {
 	if !s.emu.PO.SyncFeasible(cs.Front, cs.Keep) {
 		return checkResult{consistent: true}
@@ -657,21 +801,140 @@ func (s *session) check(cs CrashState) checkResult {
 	if r, ok := s.checkCache[key]; ok {
 		return r
 	}
+	if r, ok := s.resumed[key]; ok {
+		// The verdict was journaled by a previous (interrupted) run; charge
+		// what computing it would have charged and skip the work.
+		s.chargeOutcome(cs, r)
+		s.checkCache[key] = r
+		return r
+	}
 	if s.outcomeFor != nil {
 		if r, ok := s.outcomeFor(key); ok {
 			// A shard worker already reconstructed and judged this state;
 			// charge exactly what reconstruct+verdict would have charged.
-			s.chargeRestores(len(s.fs.Procs()))
-			s.chargeReplayed(s.keptUniverse(cs))
-			s.chargeLegal(r)
+			s.chargeOutcome(cs, r)
 			s.checkCache[key] = r
+			s.journal(key, r)
 			return r
 		}
 	}
-	s.reconstruct(cs)
-	r := s.verdict(cs)
+	r := s.checkWithRetry(cs)
 	s.checkCache[key] = r
+	s.journal(key, r)
 	return r
+}
+
+// chargeOutcome charges the stats a serial reconstruction+verdict of cs
+// would have charged, given its already-computed result. Skipped states
+// charge nothing: their failed attempts were rolled back.
+func (s *session) chargeOutcome(cs CrashState, r checkResult) {
+	if r.skipped {
+		s.ctrSkipped.Inc()
+		return
+	}
+	s.chargeRestores(len(s.fs.Procs()))
+	s.chargeReplayed(s.keptUniverse(cs))
+	s.chargeLegal(r)
+}
+
+// journal records a freshly computed verdict in the checkpoint (primary
+// session only; no-op otherwise). Journal write errors are counted, never
+// fatal — losing checkpoint durability must not take the run down.
+func (s *session) journal(key string, r checkResult) {
+	if s.ckpt == nil {
+		return
+	}
+	if err := s.ckpt.record(key, r); err != nil {
+		s.obs.Counter("checkpoint/flush-errors").Inc()
+	}
+}
+
+// checkWithRetry runs reconstruct+verdict attempts under the retry policy.
+// Each failed attempt is charge-neutral (attemptCheck rolls back), so a
+// state that eventually succeeds charges exactly what an unfaulted run
+// would have — the basis of the fault-transparency guarantee.
+func (s *session) checkWithRetry(cs CrashState) checkResult {
+	att := s.opts.Retry.attempts()
+	var lastErr error
+	for a := 0; a < att; a++ {
+		if a > 0 {
+			s.ctrRetries.Inc()
+			time.Sleep(s.opts.Retry.backoffAt(a))
+		}
+		r, err := s.attemptCheck(cs)
+		if err == nil {
+			return r
+		}
+		if faultinject.Is(err) {
+			s.ctrFaults.Inc()
+		}
+		lastErr = err
+	}
+	s.ctrSkipped.Inc()
+	return checkResult{
+		skipped:     true,
+		consequence: fmt.Sprintf("quarantined after %d attempts: %v", att, lastErr),
+	}
+}
+
+// attemptCheck performs one reconstruct+verdict attempt. Panics anywhere in
+// the backend are quarantined into errors, and a failed attempt rolls its
+// restore/replay charges back (stats and counters in lockstep), leaving the
+// accounting as if the attempt never ran.
+func (s *session) attemptCheck(cs CrashState) (res checkResult, err error) {
+	restores, replayed := s.stats.ServerRestores, s.stats.OpsReplayed
+	defer func() {
+		if p := recover(); p != nil {
+			res = checkResult{}
+			if fe, ok := faultinject.FromPanic(p); ok {
+				err = fe
+			} else {
+				err = fmt.Errorf("panic during check: %v", p)
+			}
+		}
+		if err != nil {
+			s.ctrRestores.Add(int64(restores - s.stats.ServerRestores))
+			s.ctrReplayed.Add(int64(replayed - s.stats.OpsReplayed))
+			s.stats.ServerRestores, s.stats.OpsReplayed = restores, replayed
+		}
+	}()
+	if err = s.reconstruct(cs); err != nil {
+		return checkResult{}, err
+	}
+	return s.verdict(cs)
+}
+
+// withRetry runs fn under the retry policy, quarantining panics; used for
+// faultable work outside the per-state path (the golden replay).
+func (s *session) withRetry(fn func() error) error {
+	att := s.opts.Retry.attempts()
+	var lastErr error
+	for a := 0; a < att; a++ {
+		if a > 0 {
+			s.ctrRetries.Inc()
+			time.Sleep(s.opts.Retry.backoffAt(a))
+		}
+		err := func() (err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					if fe, ok := faultinject.FromPanic(p); ok {
+						err = fe
+					} else {
+						err = fmt.Errorf("panic: %v", p)
+					}
+				}
+			}()
+			return fn()
+		}()
+		if err == nil {
+			return nil
+		}
+		if faultinject.Is(err) {
+			s.ctrFaults.Inc()
+		}
+		lastErr = err
+	}
+	return lastErr
 }
 
 // keptUniverse counts the kept replayable ops of a crash state — the number
@@ -697,25 +960,37 @@ func (s *session) chargeLegal(r checkResult) {
 
 // verdict checks the current (already reconstructed) cluster state against
 // the legal states for the crash front. It runs recovery first, like the
-// real workflow (fsck before the consistency test).
-func (s *session) verdict(cs CrashState) checkResult {
+// real workflow (fsck before the consistency test). Injected faults (which
+// say nothing about the state under test) surface as errors for the retry
+// loop; genuine recovery/mount failures remain verdicts — they are what the
+// checker exists to find.
+func (s *session) verdict(cs CrashState) (checkResult, error) {
 	if err := s.fs.Recover(); err != nil {
-		return checkResult{layer: "pfs", consequence: fmt.Sprintf("unrecoverable file system: %v", err), state: "UNRECOVERABLE"}
+		if faultinject.Is(err) {
+			return checkResult{}, err
+		}
+		return checkResult{layer: "pfs", consequence: fmt.Sprintf("unrecoverable file system: %v", err), state: "UNRECOVERABLE"}, nil
 	}
 	tree, err := s.fs.Mount()
 	if err != nil {
-		return checkResult{layer: "pfs", consequence: fmt.Sprintf("mount failed after fsck: %v", err), state: "UNMOUNTABLE"}
+		if faultinject.Is(err) {
+			return checkResult{}, err
+		}
+		return checkResult{layer: "pfs", consequence: fmt.Sprintf("mount failed after fsck: %v", err), state: "UNMOUNTABLE"}, nil
 	}
 
 	pfsStatus := s.pfsOps.StatusAgainst(cs.Front)
 	treeStr := tree.Serialize()
 
 	if s.lib == nil {
-		legal := s.legalPFS(cs, pfsStatus)
-		if legal[treeStr] {
-			return checkResult{consistent: true, pfsLegalN: len(legal)}
+		legal, err := s.legalPFS(cs, pfsStatus)
+		if err != nil {
+			return checkResult{}, err
 		}
-		return checkResult{layer: "pfs", consequence: s.describePFS(treeStr), state: treeStr, pfsLegalN: len(legal)}
+		if legal[treeStr] {
+			return checkResult{consistent: true, pfsLegalN: len(legal)}, nil
+		}
+		return checkResult{layer: "pfs", consequence: s.describePFS(treeStr), state: treeStr, pfsLegalN: len(legal)}, nil
 	}
 
 	// Top-down: library first.
@@ -725,12 +1000,12 @@ func (s *session) verdict(cs CrashState) checkResult {
 
 	libState, lerr := s.lib.StateFromTree(tree)
 	if lerr == nil && legalLib[libState] {
-		return checkResult{consistent: true, libLegalN: libN}
+		return checkResult{consistent: true, libLegalN: libN}, nil
 	}
 	// Run the library's recovery tools before declaring inconsistency.
 	if fixed, changed := s.lib.RecoverTree(tree); changed {
 		if st, err2 := s.lib.StateFromTree(fixed); err2 == nil && legalLib[st] {
-			return checkResult{consistent: true, libLegalN: libN}
+			return checkResult{consistent: true, libLegalN: libN}, nil
 		}
 	}
 
@@ -743,11 +1018,14 @@ func (s *session) verdict(cs CrashState) checkResult {
 	} else {
 		consequence = s.describeLib(libState)
 	}
-	legalPFS := s.legalPFS(cs, pfsStatus)
-	if legalPFS[treeStr] {
-		return checkResult{layer: s.lib.Name(), consequence: consequence, state: libKey, pfsLegalN: len(legalPFS), libLegalN: libN}
+	legalPFS, err := s.legalPFS(cs, pfsStatus)
+	if err != nil {
+		return checkResult{}, err
 	}
-	return checkResult{layer: "pfs", consequence: consequence + " (PFS state also illegal)", state: treeStr, pfsLegalN: len(legalPFS), libLegalN: libN}
+	if legalPFS[treeStr] {
+		return checkResult{layer: s.lib.Name(), consequence: consequence, state: libKey, pfsLegalN: len(legalPFS), libLegalN: libN}, nil
+	}
+	return checkResult{layer: "pfs", consequence: consequence + " (PFS state also illegal)", state: treeStr, pfsLegalN: len(legalPFS), libLegalN: libN}, nil
 }
 
 // describePFS summarises how the recovered tree differs from the golden
@@ -783,20 +1061,31 @@ func firstLineDiff(a, b string) string {
 }
 
 // legalPFS returns the set of legal PFS tree serialisations for the front.
-func (s *session) legalPFS(cs CrashState, status []Status) map[string]bool {
+// An injected fault mid-enumeration aborts without caching: a partial legal
+// set would make a healed retry judge against too few states.
+func (s *session) legalPFS(cs CrashState, status []Status) (map[string]bool, error) {
 	key := statusKey(status)
 	if set, ok := s.legalPFSCache[key]; ok {
-		return set
+		return set, nil
 	}
 	set := map[string]bool{}
+	var rerr error
 	s.pfsOps.PreservedSets(s.opts.PFSModel, status, s.opts.MaxLegalStates, func(sel []int) bool {
-		set[s.replayPFS(sel)] = true
+		st, err := s.replayPFS(sel)
+		if err != nil {
+			rerr = err
+			return false
+		}
+		set[st] = true
 		return true
 	})
+	if rerr != nil {
+		return nil, rerr
+	}
 	s.legalPFSCache[key] = set
 	s.stats.LegalPFSStates = max(s.stats.LegalPFSStates, len(set))
 	s.gaugeLegalPFS.Max(int64(len(set)))
-	return set
+	return set, nil
 }
 
 // legalLib returns the set of legal library logical states for the front.
@@ -827,11 +1116,13 @@ func statusKey(status []Status) string {
 }
 
 // replayPFS re-executes the selected PFS-layer client ops on the initial
-// snapshot and returns the resulting tree serialisation.
-func (s *session) replayPFS(sel []int) string {
+// snapshot and returns the resulting tree serialisation. Only injected
+// mount faults surface as errors (and are never cached); a genuinely
+// unmountable replay is a legitimate legal state.
+func (s *session) replayPFS(sel []int) (string, error) {
 	key := intsKey(sel)
 	if st, ok := s.pfsReplayCache[key]; ok {
-		return st
+		return st, nil
 	}
 	rec := s.fs.Recorder()
 	rec.SetEnabled(false)
@@ -851,9 +1142,11 @@ func (s *session) replayPFS(sel []int) string {
 	st := "UNMOUNTABLE"
 	if tree, err := s.fs.Mount(); err == nil {
 		st = tree.Serialize()
+	} else if faultinject.Is(err) {
+		return "", err
 	}
 	s.pfsReplayCache[key] = st
-	return st
+	return st, nil
 }
 
 // replayLib re-executes the selected library ops via the library's replayer.
@@ -885,6 +1178,13 @@ func intsKey(sel []int) string {
 // runOptimized visits states in TSP order with incremental reconstruction:
 // only servers whose kept-op subsequence changed are restored and
 // re-applied; recovery and checking run on a scratch snapshot.
+//
+// Fault tolerance splits the walk in two: the arithmetic walk (cur) charges
+// exactly what an unfaulted incremental visit would pay, per visited state,
+// while the physical walk (phys) tracks what is actually on the cluster. A
+// faulted attempt re-restores the touched servers without extra charges, so
+// a run whose faults heal — and a resumed run replaying journaled verdicts —
+// reports stats byte-identical to an uninterrupted unfaulted run.
 func (s *session) runOptimized(states []CrashState, skip func(CrashState) bool, handle func(CrashState)) {
 	if len(states) == 0 {
 		return
@@ -894,8 +1194,10 @@ func (s *session) runOptimized(states []CrashState, skip func(CrashState) bool, 
 	order := exploreOrder(len(states), len(procs), sigs, s.opts.DisableTSP)
 
 	cur := make([]string, len(procs))
+	phys := make([]string, len(procs))
 	for i := range cur {
 		cur[i] = "\x00unset"
+		phys[i] = "\x00unset"
 	}
 
 	for _, idx := range order {
@@ -906,31 +1208,133 @@ func (s *session) runOptimized(states []CrashState, skip func(CrashState) bool, 
 		if skip(cs) {
 			continue
 		}
-		// Incremental apply: restore + replay only the changed servers.
+		// Arithmetic charging: the incremental restore/replay cost this
+		// state adds to the walk, independent of faults and resume.
 		for pi, p := range procs {
 			if cur[pi] == sigs[idx][pi] {
 				continue
 			}
-			s.fs.RestoreServer(s.initial, p)
 			s.chargeRestores(1)
 			for _, n := range serverOps[p] {
 				if cs.Keep.Get(n) {
-					_ = s.fs.ApplyLowermost(s.g.Ops[n])
 					s.chargeReplayed(1)
 				}
 			}
 			cur[pi] = sigs[idx][pi]
 		}
-		// Check on a scratch copy so recovery does not disturb the
-		// incrementally maintained applied state.
-		applied := s.fs.Snapshot()
 		key := cs.Front.Key() + "|" + cs.Keep.Key()
 		if _, ok := s.checkCache[key]; !ok {
-			s.checkCache[key] = s.verdict(cs)
+			if r, ok := s.resumed[key]; ok {
+				// Journaled verdict: seed the cache before handle's check so
+				// the serial resumed path (which charges full reconstruction)
+				// is bypassed — the arithmetic walk above already paid.
+				if r.skipped {
+					s.ctrSkipped.Inc()
+				} else {
+					s.chargeLegal(r)
+				}
+				s.checkCache[key] = r
+			} else {
+				r := s.optimizedCheck(cs, sigs[idx], procs, serverOps, phys)
+				s.checkCache[key] = r
+				s.journal(key, r)
+			}
 		}
+		// handle's classifier probes may reconstruct other states on the
+		// live cluster; restore the applied state afterwards so the physical
+		// walk tracking stays truthful.
+		applied := s.fs.Snapshot()
 		handle(cs)
 		s.fs.Restore(applied)
 	}
+}
+
+// optimizedCheck brings the physical cluster to the state's per-server
+// signature and judges it, retrying faulted attempts under the policy. No
+// stats are charged here — the arithmetic walk in runOptimized carries the
+// accounting — so retries are invisible in the report.
+func (s *session) optimizedCheck(cs CrashState, sig []string, procs []string, serverOps map[string][]int, phys []string) checkResult {
+	att := s.opts.Retry.attempts()
+	var lastErr error
+	for a := 0; a < att; a++ {
+		if a > 0 {
+			s.ctrRetries.Inc()
+			time.Sleep(s.opts.Retry.backoffAt(a))
+		}
+		r, err := s.optimizedAttempt(cs, sig, procs, serverOps, phys)
+		if err == nil {
+			return r
+		}
+		if faultinject.Is(err) {
+			s.ctrFaults.Inc()
+		}
+		lastErr = err
+	}
+	s.ctrSkipped.Inc()
+	return checkResult{
+		skipped:     true,
+		consequence: fmt.Sprintf("quarantined after %d attempts: %v", att, lastErr),
+	}
+}
+
+// optimizedAttempt is one physical sync + scratch verdict. A server whose
+// apply faults mid-way is marked dirty so the next attempt (or the next
+// state) restores it from the snapshot instead of trusting partial state.
+func (s *session) optimizedAttempt(cs CrashState, sig []string, procs []string, serverOps map[string][]int, phys []string) (checkResult, error) {
+	for pi, p := range procs {
+		if phys[pi] == sig[pi] {
+			continue
+		}
+		phys[pi] = "\x00dirty"
+		if err := s.syncServer(cs, p, serverOps[p]); err != nil {
+			return checkResult{}, err
+		}
+		phys[pi] = sig[pi]
+	}
+	return s.scratchVerdict(cs)
+}
+
+// syncServer restores one server to the initial snapshot and applies the
+// crash state's kept ops on it, quarantining panics into errors.
+func (s *session) syncServer(cs CrashState, p string, ops []int) (err error) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			if fe, ok := faultinject.FromPanic(pv); ok {
+				err = fe
+			} else {
+				err = fmt.Errorf("panic applying ops on %s: %v", p, pv)
+			}
+		}
+	}()
+	s.fs.RestoreServer(s.initial, p)
+	for _, n := range ops {
+		if !cs.Keep.Get(n) {
+			continue
+		}
+		if aerr := s.fs.ApplyLowermost(s.g.Ops[n]); aerr != nil && faultinject.Is(aerr) {
+			return aerr
+		}
+	}
+	return nil
+}
+
+// scratchVerdict snapshots the applied state, judges it, and restores the
+// applied state afterwards — including when the verdict panics — so the
+// incremental walk's physical tracking stays valid.
+func (s *session) scratchVerdict(cs CrashState) (res checkResult, err error) {
+	applied := s.fs.Snapshot()
+	defer func() {
+		if pv := recover(); pv != nil {
+			res = checkResult{}
+			if fe, ok := faultinject.FromPanic(pv); ok {
+				err = fe
+			} else {
+				err = fmt.Errorf("panic during verdict: %v", pv)
+			}
+		}
+		s.fs.Restore(applied)
+	}()
+	return s.verdict(cs)
 }
 
 func max(a, b int) int {

@@ -190,6 +190,10 @@ func (s *session) shardSession(fs pfs.FileSystem) *session {
 		checkCache:     map[string]checkResult{},
 		goldenPFS:      s.goldenPFS,
 		goldenLib:      s.goldenLib,
+		// The resumed map is shared read-only: workers skip journaled states
+		// just like the merge does. The checkpoint itself stays with the
+		// primary session (only the merge journals fresh verdicts).
+		resumed: s.resumed,
 	}
 	ws.bindObs(s.obs, "worker/")
 	return ws
@@ -215,6 +219,12 @@ func (s *session) runParallel(states []CrashState, cloner pfs.Cloner, workers in
 		if oa, ok := clone.(pfs.ObsAware); ok {
 			oa.SetObs(s.obs)
 		}
+		if fa, ok := clone.(pfs.FaultAware); ok {
+			// Clones share the primary's fault plan: injection decisions are
+			// schedule-independent (hash-based), so worker count does not
+			// change which points fault.
+			fa.SetFaults(s.opts.Faults)
+		}
 		ws := s.shardSession(clone)
 		ws.fs.Recorder().SetEnabled(false)
 		// Per-worker shard depth, decremented as the worker publishes; the
@@ -224,6 +234,19 @@ func (s *session) runParallel(states []CrashState, cloner pfs.Cloner, workers in
 		wg.Add(1)
 		go func(ws *session, ids []int, pending *obs.Gauge) {
 			defer wg.Done()
+			// Last-resort quarantine: per-attempt recovery inside check
+			// should contain every backend panic, but if one escapes, the
+			// worker releases its remaining states as "no verdict" (the
+			// merge computes them locally) instead of deadlocking the merge
+			// on a board entry nobody will publish.
+			defer func() {
+				if p := recover(); p != nil {
+					s.obs.Counter("worker/panics").Inc()
+					for _, id := range ids {
+						board.skip(id)
+					}
+				}
+			}()
 			if ws.opts.Mode == ModeOptimized {
 				ws.exploreShardOptimized(states, ids, bugs, board, pending)
 			} else {
@@ -306,9 +329,14 @@ func (ws *session) exploreShardOptimized(states []CrashState, ids []int, bugs *B
 	// such step — its live cluster already holds every server's content.)
 	ws.fs.Restore(ws.initial)
 
+	// cur charges the worker's effort counters along the unfaulted walk;
+	// phys tracks what is physically on the clone (optimizedCheck re-syncs
+	// dirty servers after a faulted attempt without extra charges).
 	cur := make([]string, len(procs))
+	phys := make([]string, len(procs))
 	for i := range cur {
 		cur[i] = "\x00unset"
+		phys[i] = "\x00unset"
 	}
 	for _, k := range order {
 		if ws.ctx.Err() != nil {
@@ -325,23 +353,21 @@ func (ws *session) exploreShardOptimized(states []CrashState, ids []int, bugs *B
 			if cur[pi] == sigs[k][pi] {
 				continue
 			}
-			ws.fs.RestoreServer(ws.initial, p)
 			ws.ctrRestores.Inc()
 			for _, n := range serverOps[p] {
 				if cs.Keep.Get(n) {
-					_ = ws.fs.ApplyLowermost(ws.g.Ops[n])
 					ws.ctrReplayed.Inc()
 				}
 			}
 			cur[pi] = sigs[k][pi]
 		}
-		// Judge on a scratch copy so recovery does not disturb the
-		// incrementally maintained applied state.
-		applied := ws.fs.Snapshot()
-		board.publish(ids[k], ws.verdict(cs))
+		r, ok := ws.resumed[stateKey(cs)]
+		if !ok {
+			r = ws.optimizedCheck(cs, sigs[k], procs, serverOps, phys)
+		}
+		board.publish(ids[k], r)
 		ws.ctrChecked.Inc()
 		pending.Add(-1)
-		ws.fs.Restore(applied)
 	}
 }
 
@@ -381,26 +407,42 @@ func (s *session) mergeOptimized(states []CrashState, board *resultBoard, skip f
 		}
 		key := stateKey(cs)
 		if _, ok := s.checkCache[key]; !ok {
-			res, ok := board.await(idx)
-			if !ok {
-				res = s.computeScratch(cs)
+			if res, ok := s.resumed[key]; ok {
+				// Journaled verdict: the arithmetic walk above already paid
+				// the reconstruction, so only the legal-set sizes (or the
+				// skip) remain to account.
+				if res.skipped {
+					s.ctrSkipped.Inc()
+				} else {
+					s.chargeLegal(res)
+				}
+				s.checkCache[key] = res
+			} else {
+				res, fromBoard := board.await(idx)
+				if !fromBoard {
+					res = s.computeScratch(cs) // counts its own quarantines
+				} else if res.skipped {
+					s.ctrSkipped.Inc()
+				}
+				s.checkCache[key] = res
+				s.chargeLegal(res)
+				s.journal(key, res)
 			}
-			s.checkCache[key] = res
-			s.chargeLegal(res)
 		}
 		handle(cs)
 	}
 }
 
-// computeScratch reconstructs and judges a state on the primary cluster
-// without charging restore/replay stats (the optimized merge accounts those
-// through its incremental simulation).
+// computeScratch reconstructs and judges a state on the primary cluster —
+// with the same bounded retry as the serial engine — without charging
+// restore/replay stats (the optimized merge accounts those through its
+// incremental simulation).
 func (s *session) computeScratch(cs CrashState) checkResult {
 	restores, replayed := s.stats.ServerRestores, s.stats.OpsReplayed
-	s.reconstruct(cs)
-	res := s.verdict(cs)
+	res := s.checkWithRetry(cs)
 	// Roll the counters back in lockstep with the stats so the obs totals
-	// keep reconciling 1:1 with the reported Stats.
+	// keep reconciling 1:1 with the reported Stats. (Failed attempts already
+	// rolled themselves back; this cancels the successful attempt's charge.)
 	s.ctrRestores.Add(int64(restores - s.stats.ServerRestores))
 	s.ctrReplayed.Add(int64(replayed - s.stats.OpsReplayed))
 	s.stats.ServerRestores, s.stats.OpsReplayed = restores, replayed

@@ -239,6 +239,10 @@ type Job struct {
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// Resumes counts how many times the daemon re-enqueued this job after
+	// finding it interrupted by an unclean shutdown; explore jobs resume
+	// from their checkpoint journal.
+	Resumes int `json:"resumes,omitempty"`
 	// Error describes a failed or canceled job.
 	Error string `json:"error,omitempty"`
 	// Report is the explore-job result.

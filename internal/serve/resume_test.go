@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"paracrash/internal/exps"
+	"paracrash/internal/faultinject"
+)
+
+// TestInterruptedAndResubmit simulates an unclean daemon death: a job is
+// mid-run when the "process" dies (we simply abandon the first scheduler),
+// a fresh store over the same directory reports it interrupted, and
+// Resubmit re-enqueues it under its original ID to completion.
+func TestInterruptedAndResubmit(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := OpenStore(dir)
+	s1, gate1 := gatedScheduler(SchedulerConfig{MaxConcurrent: 1}, st)
+	t.Cleanup(func() { close(gate1); s1.Drain(context.Background()) })
+
+	j, err := s1.Submit(JobRequest{Program: "WAL", FS: "lustre"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, st, j.ID, JobRunning)
+
+	// "Restart": a second store and scheduler over the same directory see
+	// the running record and flag it interrupted.
+	st2, warns := OpenStore(dir)
+	if len(warns) != 0 {
+		t.Fatalf("reopen warnings: %v", warns)
+	}
+	interrupted := st2.Interrupted()
+	if len(interrupted) != 1 || interrupted[0].ID != j.ID {
+		t.Fatalf("Interrupted() = %+v, want the one running job", interrupted)
+	}
+
+	s2, gate2 := gatedScheduler(SchedulerConfig{MaxConcurrent: 1}, st2)
+	defer s2.Drain(context.Background())
+	if err := s2.Resubmit(j.ID); err != nil {
+		t.Fatalf("Resubmit: %v", err)
+	}
+	close(gate2)
+	got := waitState(t, st2, j.ID, JobDone)
+	if got.Resumes != 1 {
+		t.Errorf("Resumes = %d, want 1", got.Resumes)
+	}
+	if got.Report == nil || got.Report.Program != "WAL" {
+		t.Errorf("resumed job report = %+v", got.Report)
+	}
+	if len(st2.Interrupted()) != 0 {
+		t.Error("job still listed as interrupted after completing")
+	}
+
+	// Guard rails: unknown and already-finished jobs are rejected.
+	if err := s2.Resubmit("j-doesnotexist"); err == nil {
+		t.Error("Resubmit accepted an unknown job")
+	}
+	if err := s2.Resubmit(j.ID); err == nil || !strings.Contains(err.Error(), "finished") {
+		t.Errorf("Resubmit of a done job: err = %v, want 'already finished'", err)
+	}
+}
+
+// TestStoreWarnsHalfWrittenRecord: a record truncated mid-write — the
+// artifact the temp+rename discipline prevents, but which a lost rename can
+// still leave — is skipped with a warning, never a crash.
+func TestStoreWarnsHalfWrittenRecord(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir+"/job-half.json", `{"version": 1, "id": "j-half", "sta`)
+	st, warns := OpenStore(dir)
+	if len(warns) != 1 || !strings.Contains(warns[0].Error(), "parse") {
+		t.Fatalf("warnings = %v, want one parse warning", warns)
+	}
+	if len(st.List()) != 0 {
+		t.Fatalf("half-written record was loaded: %+v", st.List())
+	}
+}
+
+// TestJobSurvivesInjectedFaults drives a real exploration job through a
+// scheduler whose fault plane is armed: bounded faults heal via retries and
+// the job's report matches an unfaulted run exactly.
+func TestJobSurvivesInjectedFaults(t *testing.T) {
+	st, _ := OpenStore("")
+	clean := NewScheduler(SchedulerConfig{MaxConcurrent: 1}, st, nil)
+	clean.Start()
+	defer clean.Drain(context.Background())
+	j1, err := clean.Submit(JobRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitState(t, st, j1.ID, JobDone)
+
+	faulted := NewScheduler(SchedulerConfig{
+		MaxConcurrent: 1,
+		Faults:        faultinject.New(faultinject.Config{Seed: 21, Rate: 0.3}),
+	}, st, nil)
+	faulted.Start()
+	defer faulted.Drain(context.Background())
+	j2, err := faulted.Submit(JobRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, st, j2.ID, JobDone)
+
+	if exps.ReportFingerprint(got.Report) != exps.ReportFingerprint(want.Report) {
+		t.Error("faulted job report differs from clean job report")
+	}
+}
+
+// TestJobQuarantinesInjectedPanics arms a fault plane that panics on every
+// crash-state reconstruction: the engine quarantines the poisoned states,
+// so the job finishes done (with Skipped entries) instead of failed — the
+// daemon keeps serving.
+func TestJobQuarantinesInjectedPanics(t *testing.T) {
+	st, _ := OpenStore("")
+	s := NewScheduler(SchedulerConfig{
+		MaxConcurrent: 1,
+		Faults: faultinject.New(faultinject.Config{
+			Seed: 9, Rate: 1, Kinds: []faultinject.Kind{faultinject.KindPanic},
+			Sites: []string{"pfs/apply"}, MaxPerPoint: 1 << 30,
+		}),
+	}, st, nil)
+	s.Start()
+	defer s.Drain(context.Background())
+
+	j, err := s.Submit(JobRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, st, j.ID, JobDone)
+	if len(got.Report.Skipped) == 0 {
+		t.Fatal("panicking backend produced no quarantined states")
+	}
+
+	// The scheduler is still healthy: a clean follow-up job completes.
+	// (Fault quotas are per-plan state, so the poisoned plan keeps firing;
+	// this job is expected to quarantine too but must still finish.)
+	j2, err := s.Submit(JobRequest{Program: "WAL"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, st, j2.ID, JobDone)
+}

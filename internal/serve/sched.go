@@ -6,11 +6,14 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime/debug"
 	"sync"
 	"time"
 
 	"paracrash/internal/exps"
+	"paracrash/internal/faultinject"
 	"paracrash/internal/fuzzcamp"
 	"paracrash/internal/obs"
 	core "paracrash/internal/paracrash"
@@ -46,6 +49,12 @@ type SchedulerConfig struct {
 	ProgressInterval time.Duration
 	// EventHistory is the per-job event ring size (default 256).
 	EventHistory int
+	// Retry bounds per-crash-state fault recovery inside every explore job
+	// (the zero value is the engine's default policy).
+	Retry core.RetryPolicy
+	// Faults, when non-nil, arms the deterministic fault plane on every
+	// explore job — the daemon-level chaos knob the robustness tests drive.
+	Faults *faultinject.Plan
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
@@ -87,8 +96,10 @@ type Scheduler struct {
 	runs     map[string]*jobRun
 
 	// executor runs one job's payload; tests substitute it to control job
-	// duration and failure modes without spinning real explorations.
-	executor func(ctx context.Context, req JobRequest, run *obs.Run) (*core.Report, *FuzzResult, error)
+	// duration and failure modes without spinning real explorations. It
+	// receives the whole job (not just the request) so the real executor can
+	// derive the job's checkpoint-journal path from its ID.
+	executor func(ctx context.Context, job *Job, run *obs.Run) (*core.Report, *FuzzResult, error)
 
 	ctrSubmitted *obs.Counter
 	ctrRejected  *obs.Counter
@@ -280,7 +291,7 @@ func (s *Scheduler) runJob(job *Job) {
 
 	jr.run.StartProgress(s.cfg.ProgressInterval)
 
-	report, fuzz, err := s.safeExecute(ctx, job.Request, jr.run)
+	report, fuzz, err := s.safeExecute(ctx, job, jr.run)
 
 	// Close flushes the final progress event, which also closes every
 	// events-stream subscriber.
@@ -319,18 +330,28 @@ func (s *Scheduler) runJob(job *Job) {
 
 // safeExecute isolates panics: a panic anywhere in the engine becomes a
 // job failure instead of taking the daemon down.
-func (s *Scheduler) safeExecute(ctx context.Context, req JobRequest, run *obs.Run) (report *core.Report, fuzz *FuzzResult, err error) {
+func (s *Scheduler) safeExecute(ctx context.Context, job *Job, run *obs.Run) (report *core.Report, fuzz *FuzzResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			report, fuzz = nil, nil
 			err = fmt.Errorf("serve: job panicked: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return s.executor(ctx, req, run)
+	return s.executor(ctx, job, run)
+}
+
+// checkpointPath is the per-job checkpoint-journal location ("" for a
+// memory-only store — no directory to journal into).
+func (s *Scheduler) checkpointPath(id string) string {
+	if s.store.Dir() == "" {
+		return ""
+	}
+	return filepath.Join(s.store.Dir(), "ckpt-"+sanitizeID(id)+".jsonl")
 }
 
 // execute dispatches on the job kind.
-func (s *Scheduler) execute(ctx context.Context, req JobRequest, run *obs.Run) (*core.Report, *FuzzResult, error) {
+func (s *Scheduler) execute(ctx context.Context, job *Job, run *obs.Run) (*core.Report, *FuzzResult, error) {
+	req := job.Request
 	switch req.Kind {
 	case JobKindFuzz:
 		cfg := fuzzcamp.Config{Obs: run}
@@ -363,12 +384,67 @@ func (s *Scheduler) execute(ctx context.Context, req JobRequest, run *obs.Run) (
 		}
 		opts := req.options(s.cfg.MaxJobWorkers)
 		opts.Obs = run
+		opts.Retry = s.cfg.Retry
+		opts.Faults = s.cfg.Faults
+		if p := s.checkpointPath(job.ID); p != "" {
+			// The journal lives next to the job record; a resubmitted job
+			// (same ID) resumes from it, and a clean finish removes it.
+			opts.Checkpoint = core.OpenCheckpoint(p)
+		}
 		rep, rerr := exps.RunOneContext(ctx, req.FS, prog, opts, req.h5Params(), exps.ConfigFor(req.FS))
 		if rerr != nil {
 			return nil, nil, rerr
 		}
+		if opts.Checkpoint != nil {
+			if n := opts.Checkpoint.Resumed(); n > 0 {
+				run.Counter("job/resumed-verdicts").Add(int64(n))
+			}
+			os.Remove(opts.Checkpoint.Path())
+		}
 		return rep, nil, nil
 	}
+}
+
+// Resubmit re-enqueues a non-terminal job — one a previous daemon process
+// was killed while running — under its original ID, so its explore
+// checkpoint journal (if any) is picked up and the work continues from the
+// frontier. Admission control applies like Submit's.
+func (s *Scheduler) Resubmit(id string) error {
+	j, ok := s.store.Get(id)
+	if !ok {
+		return fmt.Errorf("serve: resubmit of unknown job %s", id)
+	}
+	if j.State.Terminal() {
+		return fmt.Errorf("serve: job %s already finished", id)
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.ctrRejected.Inc()
+		return ErrDraining
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		s.ctrRejected.Inc()
+		return ErrQueueFull
+	}
+	jr := &jobRun{run: obs.NewRun(), sink: obs.NewStreamSink(s.cfg.EventHistory)}
+	jr.run.AddSink(jr.sink)
+	s.runs[id] = jr
+	_ = s.store.Update(id, func(job *Job) {
+		job.State = JobQueued
+		job.Resumes++
+		job.StartedAt = nil
+	})
+	s.gaugeQueued.Add(1)
+	// Workers only read ID and Request off the queued record; the store
+	// keeps the canonical copy.
+	s.queue <- &Job{ID: id, Request: j.Request}
+	s.mu.Unlock()
+
+	s.obs.Counter("jobs/resumed").Inc()
+	return nil
 }
 
 // summarizeFuzz projects a campaign result onto the persisted form.

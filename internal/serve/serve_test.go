@@ -44,10 +44,10 @@ func waitState(t *testing.T, st *Store, id string, want JobState) Job {
 func gatedScheduler(cfg SchedulerConfig, st *Store) (*Scheduler, chan struct{}) {
 	s := NewScheduler(cfg, st, nil)
 	gate := make(chan struct{})
-	s.executor = func(ctx context.Context, req JobRequest, run *obs.Run) (*core.Report, *FuzzResult, error) {
+	s.executor = func(ctx context.Context, job *Job, run *obs.Run) (*core.Report, *FuzzResult, error) {
 		select {
 		case <-gate:
-			return &core.Report{Program: req.Program, FS: req.FS}, nil, nil
+			return &core.Report{Program: job.Request.Program, FS: job.Request.FS}, nil, nil
 		case <-ctx.Done():
 			return nil, nil, ctx.Err()
 		}
@@ -225,7 +225,7 @@ func TestPanicIsolation(t *testing.T) {
 	st, _ := OpenStore("")
 	s := NewScheduler(SchedulerConfig{MaxConcurrent: 1}, st, nil)
 	boom := true
-	s.executor = func(ctx context.Context, req JobRequest, run *obs.Run) (*core.Report, *FuzzResult, error) {
+	s.executor = func(ctx context.Context, job *Job, run *obs.Run) (*core.Report, *FuzzResult, error) {
 		if boom {
 			boom = false
 			panic("engine blew up")

@@ -10,11 +10,13 @@ import (
 	"sync"
 )
 
-// Store indexes every job the daemon knows about. Live jobs (queued,
-// running) exist only in memory; terminal jobs are additionally persisted
-// to the results directory — one `job-<id>.json` per job, schema-versioned
-// by JobVersion — so a restarted daemon lists previously completed jobs.
-// An empty directory path keeps the store memory-only.
+// Store indexes every job the daemon knows about. Every job — queued,
+// running or terminal — is persisted to the results directory as one
+// `job-<id>.json` per job, schema-versioned by JobVersion and written with
+// the temp-file + rename + fsync discipline, so a restarted daemon both
+// lists previously completed jobs and notices the ones an unclean death
+// interrupted (Interrupted). An empty directory path keeps the store
+// memory-only.
 type Store struct {
 	dir string
 
@@ -25,8 +27,9 @@ type Store struct {
 
 // OpenStore opens (creating if needed) a store over dir and loads every
 // persisted job record. Records with a different schema version or
-// unparsable content are skipped with an error list, never a failure: one
-// corrupt record must not take the daemon down.
+// unparsable content — including the half-written file a crash mid-persist
+// leaves behind when rename atomicity is lost — are skipped with an error
+// list, never a failure: one corrupt record must not take the daemon down.
 func OpenStore(dir string) (*Store, []error) {
 	s := &Store{dir: dir, jobs: map[string]*Job{}}
 	if dir == "" {
@@ -56,8 +59,8 @@ func OpenStore(dir string) (*Store, []error) {
 			warns = append(warns, fmt.Errorf("serve: %s has schema version %d, want %d", p, j.Version, JobVersion))
 			continue
 		}
-		if j.ID == "" || !j.State.Terminal() {
-			warns = append(warns, fmt.Errorf("serve: %s is not a terminal job record", p))
+		if j.ID == "" {
+			warns = append(warns, fmt.Errorf("serve: %s has no job ID", p))
 			continue
 		}
 		loaded = append(loaded, &j)
@@ -70,17 +73,38 @@ func OpenStore(dir string) (*Store, []error) {
 	return s, warns
 }
 
+// Interrupted returns the jobs a previous daemon left non-terminal (it died
+// while they were queued or running), oldest first. The scheduler resubmits
+// them on startup so their work resumes from any checkpoint journal.
+func (s *Store) Interrupted() []Job {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Job
+	for _, id := range s.order {
+		if j := s.jobs[id]; !j.State.Terminal() {
+			out = append(out, *j)
+		}
+	}
+	return out
+}
+
 // Dir returns the results directory ("" for a memory-only store).
 func (s *Store) Dir() string { return s.dir }
 
-// Add registers a new job.
+// Add registers a new job and persists its queued record (best-effort: the
+// in-memory registration always applies; a persist failure only costs the
+// job's restart durability).
 func (s *Store) Add(j *Job) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.jobs[j.ID]; !ok {
 		s.order = append(s.order, j.ID)
 	}
 	s.jobs[j.ID] = j
+	cp := *j
+	s.mu.Unlock()
+	if s.dir != "" {
+		_ = s.persist(&cp)
+	}
 }
 
 // Get returns a snapshot copy of the job record. The copy shares the
@@ -108,9 +132,10 @@ func (s *Store) List() []Job {
 	return out
 }
 
-// Update applies fn to the job under the store lock and, when the job has
-// reached a terminal state, persists it. The returned error is the
-// persistence error (the in-memory update always applies).
+// Update applies fn to the job under the store lock and persists the new
+// record (every state, so restarts see queued/running jobs as interrupted).
+// The returned error is the persistence error (the in-memory update always
+// applies).
 func (s *Store) Update(id string, fn func(*Job)) error {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -119,19 +144,17 @@ func (s *Store) Update(id string, fn func(*Job)) error {
 		return fmt.Errorf("serve: update of unknown job %s", id)
 	}
 	fn(j)
-	var snapshot *Job
-	if j.State.Terminal() {
-		cp := *j
-		snapshot = &cp
-	}
+	cp := *j
 	s.mu.Unlock()
-	if snapshot == nil || s.dir == "" {
+	if s.dir == "" {
 		return nil
 	}
-	return s.persist(snapshot)
+	return s.persist(&cp)
 }
 
-// persist writes one terminal job record atomically (temp file + rename).
+// persist writes one job record atomically and durably: temp file in the
+// results directory, fsync, rename over the record, fsync the directory —
+// the discipline whose absence this project exists to detect.
 func (s *Store) persist(j *Job) error {
 	data, err := json.MarshalIndent(j, "", "  ")
 	if err != nil {
@@ -139,13 +162,43 @@ func (s *Store) persist(j *Job) error {
 	}
 	path := filepath.Join(s.dir, "job-"+sanitizeID(j.ID)+".json")
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("serve: write job %s: %w", j.ID, err)
 	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: write job %s: %w", j.ID, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: sync job %s: %w", j.ID, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: close job %s: %w", j.ID, err)
+	}
 	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("serve: commit job %s: %w", j.ID, err)
 	}
+	if err := syncStoreDir(s.dir); err != nil {
+		return fmt.Errorf("serve: sync results dir: %w", err)
+	}
 	return nil
+}
+
+// syncStoreDir fsyncs the results directory so a just-renamed record's
+// dentry is durable.
+func syncStoreDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // sanitizeID keeps persisted file names flat even if an ID were ever
