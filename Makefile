@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck doclint test race ci bench gobench experiments examples fuzz fuzz-smoke chaos clean
+.PHONY: all build vet fmtcheck doclint test race ci bench gobench experiments examples fuzz fuzz-smoke chaos representative clean
 
 all: build vet test
 
@@ -32,7 +32,7 @@ race:
 	$(GO) test -race ./...
 
 # Everything a change must pass before it lands.
-ci: build vet fmtcheck doclint test race fuzz-smoke chaos
+ci: build vet fmtcheck doclint test race fuzz-smoke chaos representative
 
 # Run the benchmark trajectory with observability enabled and write the
 # per-run summary (phase timings, counters, Stats) as BENCH_<stamp>.json.
@@ -42,6 +42,13 @@ bench:
 # Go micro/macro benchmarks (paper tables and figures as testing.B).
 gobench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Representative-state exploration gate: the brute-force-equivalence
+# differential harness (every backend, both workload families, fault
+# injection, mid-class kill/resume) plus the digest fuzz target's seed
+# corpus and the white-box collision proofs.
+representative:
+	$(GO) test ./internal/paracrash/ -run 'TestRepresentative|TestClassKey|TestCrashDigest|FuzzStateDigest' -count=1 -v
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
@@ -62,6 +69,7 @@ fuzz:
 	$(GO) test ./internal/hdf5/ -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/ -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/paracrash/ -fuzz FuzzParseModel -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/paracrash/ -fuzz FuzzStateDigest -fuzztime $(FUZZTIME)
 	$(GO) run ./cmd/experiments -exp fuzz -seeds $(FUZZSEEDS) -fuzz-out corpus
 
 # Fast fuzzing gate for CI: a few seconds per coverage-guided target plus a
@@ -70,6 +78,7 @@ fuzz-smoke:
 	$(GO) test ./internal/hdf5/ -fuzz FuzzParse -fuzztime 5s
 	$(GO) test ./internal/trace/ -fuzz FuzzTraceRoundTrip -fuzztime 5s
 	$(GO) test ./internal/paracrash/ -fuzz FuzzParseModel -fuzztime 5s
+	$(GO) test ./internal/paracrash/ -fuzz FuzzStateDigest -fuzztime 5s
 	$(GO) run ./cmd/experiments -exp fuzz -seeds 8 -enum-ops 1
 
 # Chaos gate: run explorations under injected faults, kill them mid-run and
@@ -77,7 +86,7 @@ fuzz-smoke:
 # byte-identical to clean uninterrupted runs, and a hard-faulted fuzz
 # campaign must quarantine cells instead of dying.
 chaos:
-	$(GO) test ./internal/paracrash/ -run 'TestChaosResumeDeterminism|TestFaultTransparency|TestHardFaults' -count=1 -v
+	$(GO) test ./internal/paracrash/ -run 'TestChaosResumeDeterminism|TestFaultTransparency|TestHardFaults|TestRepresentativeChaosResume|TestRepresentativeQuarantine' -count=1 -v
 	$(GO) test ./internal/fuzzcamp/ -run 'TestCampaignHealsInjectedFaults|TestCampaignQuarantinesHardFaultedCells' -count=1
 
 clean:

@@ -197,6 +197,37 @@ func BenchmarkExploreParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreRepresentative contrasts representative-state exploration
+// against exhaustive checking on the same heaviest configuration as
+// BenchmarkExploreParallel. With the knob on, most generated states are
+// attributed from their recovered-content equivalence class instead of
+// being reconstructed, so "checked" collapses toward the class count while
+// "covered" (checked + attributed) stays at the brute-force total; the
+// reports are equivalent by construction (see TestRepresentativeDifferential*).
+func BenchmarkExploreRepresentative(b *testing.B) {
+	prog, _ := exps.ProgramByName("ARVR")
+	h5p := workloads.DefaultH5Params()
+	for _, bc := range []struct {
+		name  string
+		norep bool
+	}{{"exhaustive", true}, {"representative", false}} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Mode = core.ModeBrute
+			opts.DisableRepresentative = bc.norep
+			for i := 0; i < b.N; i++ {
+				rep, err := exps.RunOne("beegfs", prog, opts, h5p, exps.ConfigFor("beegfs"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rep.Stats.StatesChecked), "checked")
+				b.ReportMetric(float64(rep.Stats.StatesChecked+rep.Stats.StatesDeduped), "covered")
+				b.ReportMetric(float64(rep.Stats.ServerRestores), "restores")
+			}
+		})
+	}
+}
+
 // --- Ablation benchmarks for DESIGN.md's called-out design choices ---------
 
 // BenchmarkAblation_SemanticPruning contrasts the object-map victim filter

@@ -52,6 +52,8 @@ func main() {
 	fuzzBackoff := flag.Duration("retry-backoff", 0, "fuzz: base backoff between check retries (0 = default 2ms)")
 	fuzzFaultSeed := flag.Int64("fault-seed", 0, "fuzz: fault-injection seed (with -fault-rate)")
 	fuzzFaultRate := flag.Float64("fault-rate", 0, "fuzz: inject faults into the engine's own I/O with this probability in [0,1] (0 = off)")
+	representative := flag.Bool("representative", true, "group crash states into recovered-content equivalence classes and check one representative per class")
+	noRep := flag.Bool("no-representative", false, "check every crash state brute-force-equivalently (same as -representative=false)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
@@ -73,6 +75,20 @@ func main() {
 	if *fuzzFaultRate < 0 || *fuzzFaultRate > 1 {
 		fatal(fmt.Errorf("-fault-rate must be in [0,1], got %g", *fuzzFaultRate))
 	}
+	repSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "representative" {
+			repSet = true
+		}
+	})
+	if repSet && *representative && *noRep {
+		fatal(fmt.Errorf("-representative=true conflicts with -no-representative"))
+	}
+	// opts carries the knob into the option-taking experiments; the §6.4
+	// speedups contrast pins its own setting to measure the paper's
+	// strategies in isolation.
+	opts := core.DefaultOptions()
+	opts.DisableRepresentative = *noRep || !*representative
 
 	h5p := workloads.DefaultH5Params()
 	run := func(name string) {
@@ -80,7 +96,7 @@ func main() {
 		case "fig5":
 			fmt.Println(exps.Fig5())
 		case "fig8":
-			res := exps.Fig8(core.DefaultOptions(), h5p)
+			res := exps.Fig8(opts, h5p)
 			fmt.Println(res.Format())
 		case "fig9":
 			fmt.Println(exps.Fig9(h5p))
@@ -93,7 +109,7 @@ func main() {
 			}
 			fmt.Println(exps.FormatFig11(exps.Fig11(counts, h5p)))
 		case "table3":
-			fmt.Println(exps.FormatTable3(exps.Table3(core.DefaultOptions(), h5p)))
+			fmt.Println(exps.FormatTable3(exps.Table3(opts, h5p)))
 		case "sensitivity":
 			fmt.Println(exps.Sensitivity())
 		case "speedups":
@@ -164,6 +180,8 @@ func main() {
 				Retry:      core.RetryPolicy{MaxAttempts: *fuzzRetries, Backoff: *fuzzBackoff},
 				FaultSeed:  *fuzzFaultSeed,
 				FaultRate:  *fuzzFaultRate,
+
+				DisableRepresentative: opts.DisableRepresentative,
 			})
 			if orun != nil {
 				orun.Close()

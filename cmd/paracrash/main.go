@@ -47,6 +47,9 @@ func main() {
 		dumpPath = flag.String("dump-trace", "", "write the traced execution as JSON to this file instead of testing")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
 
+		representative = flag.Bool("representative", true, "group crash states into recovered-content equivalence classes and check one representative per class")
+		noRep          = flag.Bool("no-representative", false, "check every crash state brute-force-equivalently (same as -representative=false)")
+
 		remote = flag.String("remote", "", "submit the run as a job to a paracrashd at this address (e.g. localhost:7077) instead of exploring locally")
 
 		retries      = flag.Int("retries", 0, "max attempts per crash-state check before quarantining it (0 = default 3)")
@@ -91,6 +94,16 @@ func main() {
 	if *faultRate < 0 || *faultRate > 1 {
 		fatalIf(fmt.Errorf("-fault-rate must be in [0,1], got %g", *faultRate))
 	}
+	repSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "representative" {
+			repSet = true
+		}
+	})
+	if repSet && *representative && *noRep {
+		fatalIf(fmt.Errorf("-representative=true conflicts with -no-representative"))
+	}
+	repOn := *representative && !*noRep
 
 	if *list {
 		fmt.Println("file systems:", strings.Join(exps.FSNames(), ", "))
@@ -117,12 +130,14 @@ func main() {
 			K: *k, Workers: *workers,
 			Clients: *clients, Rows: *rows, Cols: *cols,
 			ResizeRows: *rrows, ResizeCols: *rcols,
+			Representative: &repOn,
 		}, *jsonOut, *verbose))
 	}
 
 	opts := core.DefaultOptions()
 	opts.Emulator.K = *k
 	opts.Workers = *workers
+	opts.DisableRepresentative = !repOn
 	switch *mode {
 	case "brute":
 		opts.Mode = core.ModeBrute

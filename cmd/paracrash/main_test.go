@@ -63,6 +63,7 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"malformed fault rate", []string{"-fault-rate", "often"}, "invalid value"},
 		{"remote with resume", []string{"-remote", "localhost:1", "-resume", "ckpt.jsonl"}, "local-only"},
 		{"remote with fault rate", []string{"-remote", "localhost:1", "-fault-rate", "0.5"}, "local-only"},
+		{"representative conflict", []string{"-representative=true", "-no-representative"}, "-representative=true conflicts with -no-representative"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -78,11 +79,15 @@ func TestCLIFlagValidation(t *testing.T) {
 }
 
 // TestCLICleanRun keeps the zero-exit path honest: a valid local run on
-// the clean ext4/CR cell exits 0.
+// the clean ext4/CR cell exits 0, with representative exploration on
+// (the default), forced off, and off via the alias.
 func TestCLICleanRun(t *testing.T) {
-	code, stderr := runCLI(t, "-fs", "ext4", "-program", "CR")
-	if code != 0 {
-		t.Fatalf("exit code %d, want 0; stderr: %s", code, stderr)
+	for _, extra := range [][]string{nil, {"-no-representative"}, {"-representative=false"}} {
+		args := append([]string{"-fs", "ext4", "-program", "CR"}, extra...)
+		code, stderr := runCLI(t, args...)
+		if code != 0 {
+			t.Fatalf("%v: exit code %d, want 0; stderr: %s", args, code, stderr)
+		}
 	}
 }
 

@@ -14,15 +14,24 @@ import (
 // timings, counters, gauges). Successive PRs append files with the same
 // shape, so effort regressions show up as counter/timer diffs.
 type BenchRecord struct {
-	Program string          `json:"program"`
-	FS      string          `json:"fs"`
-	Mode    string          `json:"mode"`
-	Workers int             `json:"workers"`
-	Seconds float64         `json:"seconds"`
-	Bugs    int             `json:"bugs"`
-	Stats   paracrash.Stats `json:"stats"`
-	Obs     *obs.Summary    `json:"obs"`
-	Err     string          `json:"error,omitempty"`
+	Program string `json:"program"`
+	FS      string `json:"fs"`
+	Mode    string `json:"mode"`
+	Workers int    `json:"workers"`
+	// Representative records whether the cell ran with representative-state
+	// exploration (recovered-content equivalence classes); the trajectory
+	// keeps one brute-force contrast cell with it off so the
+	// StatesChecked/StatesDeduped drop is visible inside a single file.
+	Representative bool    `json:"representative"`
+	Seconds        float64 `json:"seconds"`
+	// StatesPerSec is the verdict throughput: states covered per second,
+	// counting both reconstructed representatives and class-attributed
+	// members (Stats.StatesChecked + Stats.StatesDeduped over Seconds).
+	StatesPerSec float64         `json:"states_per_sec"`
+	Bugs         int             `json:"bugs"`
+	Stats        paracrash.Stats `json:"stats"`
+	Obs          *obs.Summary    `json:"obs"`
+	Err          string          `json:"error,omitempty"`
 }
 
 // BenchSummary is the whole BENCH_*.json document.
@@ -33,20 +42,25 @@ type BenchSummary struct {
 
 // benchCells is the fixed benchmark trajectory: the §6.4 strategy contrast
 // on ARVR/BeeGFS plus one representative cell per remaining file system.
+// The first two cells differ only in the representative-exploration knob,
+// so every BENCH_*.json carries its own brute-force baseline for the
+// class-attribution savings.
 var benchCells = []struct {
 	fs, prog string
 	mode     paracrash.Mode
 	workers  int
+	norep    bool
 }{
-	{"beegfs", "ARVR", paracrash.ModeBrute, 1},
-	{"beegfs", "ARVR", paracrash.ModeBrute, 0}, // parallel, one worker per CPU
-	{"beegfs", "ARVR", paracrash.ModePruning, 1},
-	{"beegfs", "ARVR", paracrash.ModeOptimized, 1},
-	{"orangefs", "CR", paracrash.ModePruning, 1},
-	{"glusterfs", "WAL", paracrash.ModePruning, 1},
-	{"gpfs", "H5-create", paracrash.ModePruning, 1},
-	{"lustre", "H5-resize", paracrash.ModePruning, 1},
-	{"ext4", "CR", paracrash.ModePruning, 1},
+	{"beegfs", "ARVR", paracrash.ModeBrute, 1, true}, // exhaustive baseline
+	{"beegfs", "ARVR", paracrash.ModeBrute, 1, false},
+	{"beegfs", "ARVR", paracrash.ModeBrute, 0, false}, // parallel, one worker per CPU
+	{"beegfs", "ARVR", paracrash.ModePruning, 1, false},
+	{"beegfs", "ARVR", paracrash.ModeOptimized, 1, false},
+	{"orangefs", "CR", paracrash.ModePruning, 1, false},
+	{"glusterfs", "WAL", paracrash.ModePruning, 1, false},
+	{"gpfs", "H5-create", paracrash.ModePruning, 1, false},
+	{"lustre", "H5-resize", paracrash.ModePruning, 1, false},
+	{"ext4", "CR", paracrash.ModePruning, 1, false},
 }
 
 // Bench runs the benchmark trajectory with observability enabled and
@@ -64,10 +78,12 @@ func Bench(h5p workloads.H5Params) *BenchSummary {
 		opts := paracrash.DefaultOptions()
 		opts.Mode = cell.mode
 		opts.Workers = cell.workers
+		opts.DisableRepresentative = cell.norep
 		opts.Obs = run
 		rec := BenchRecord{
 			Program: cell.prog, FS: cell.fs,
 			Mode: cell.mode.String(), Workers: cell.workers,
+			Representative: !cell.norep,
 		}
 		rep, err := RunOne(cell.fs, prog, opts, h5p, ConfigFor(cell.fs))
 		if err != nil {
@@ -76,6 +92,9 @@ func Bench(h5p workloads.H5Params) *BenchSummary {
 			rec.Seconds = rep.Stats.Duration.Seconds()
 			rec.Bugs = len(rep.Bugs)
 			rec.Stats = rep.Stats
+			if rec.Seconds > 0 {
+				rec.StatesPerSec = float64(rep.Stats.StatesChecked+rep.Stats.StatesDeduped) / rec.Seconds
+			}
 		}
 		rec.Obs = run.Summary()
 		sum.Records = append(sum.Records, rec)

@@ -485,6 +485,27 @@ func ReportFingerprint(rep *paracrash.Report) string {
 	return b.String()
 }
 
+// ReportKernel canonicalises a report's verdict content only — program,
+// file system, mode, counts, inconsistent states, quarantined states and
+// bugs — leaving out Stats entirely. It is the comparison core of the
+// representative-equivalence oracle: representative and brute-force-per-
+// state runs legitimately differ in effort (StatesChecked, StatesDeduped,
+// ServerRestores, …) but must agree on everything the kernel covers.
+func ReportKernel(rep *paracrash.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%s|%d|%d\n", rep.Program, rep.FS, rep.Mode, rep.Inconsistent, rep.LibOnly)
+	for _, st := range rep.States {
+		fmt.Fprintf(&b, "S %+v\n", st)
+	}
+	for _, sk := range rep.Skipped {
+		fmt.Fprintf(&b, "K %+v\n", sk)
+	}
+	for _, bug := range rep.Bugs {
+		fmt.Fprintf(&b, "B %+v\n", *bug)
+	}
+	return b.String()
+}
+
 // ParallelResult compares serial against parallel exploration of one
 // (program, fs) cell.
 type ParallelResult struct {
@@ -546,6 +567,9 @@ func Speedups(fsName, progName string, h5p workloads.H5Params) (*SpeedupResult, 
 	for _, mode := range []paracrash.Mode{paracrash.ModeBrute, paracrash.ModePruning, paracrash.ModeOptimized} {
 		opts := paracrash.DefaultOptions()
 		opts.Mode = mode
+		// The §6.4 contrast measures the paper's strategies in isolation;
+		// representative bucketing would mask the pruning/optimized deltas.
+		opts.DisableRepresentative = true
 		rep, err := RunOne(fsName, prog, opts, h5p, ConfigFor(fsName))
 		if err != nil {
 			return nil, err

@@ -61,6 +61,11 @@ type Config struct {
 	// FaultSeed seeds the per-invocation fault plans (meaningful only with
 	// FaultRate > 0).
 	FaultSeed int64
+	// DisableRepresentative turns representative-state exploration off in
+	// every explorer invocation (and skips the representative-equivalence
+	// oracle, which would be vacuous). The default (off) keeps the engine
+	// default: representative exploration on.
+	DisableRepresentative bool
 	// Inject is a test-only hook registered as a fourth oracle: a non-empty
 	// return marks the workload as violating with that detail string. The
 	// campaign treats the hook itself as the minimization predicate, so
@@ -141,7 +146,7 @@ func (r *Result) OK() bool {
 }
 
 // oracleOrder fixes the per-oracle summary line order.
-var oracleOrder = []string{OracleLattice, OracleDifferential, OraclePruning, OracleInjected}
+var oracleOrder = []string{OracleLattice, OracleDifferential, OraclePruning, OracleRepresentative, OracleInjected}
 
 // Format renders the campaign summary.
 func (r *Result) Format() string {
@@ -205,12 +210,23 @@ type campaign struct {
 	nruns atomic.Int64
 	runs  *obs.Counter
 	obs   *obs.Run
+	// memo shares legal-state sets across every explorer invocation of the
+	// campaign: runs of the same cell (same workload, backend and model)
+	// enumerate each preserved-set replay once instead of once per strategy.
+	memo *paracrash.LegalMemo
 }
 
 // explore runs one explorer invocation for the campaign: a fresh file
 // system, generated programs only (no I/O library), both models set to the
 // oracle's model so POSIX and library runs would judge alike.
 func (c *campaign) explore(backend string, w paracrash.Workload, mode paracrash.Mode, model paracrash.Model, workers int) (*paracrash.Report, error) {
+	return c.exploreRep(backend, w, mode, model, workers, !c.cfg.DisableRepresentative)
+}
+
+// exploreRep is explore with an explicit representative-exploration switch;
+// the representative-equivalence oracle uses it for its brute-force
+// reference run.
+func (c *campaign) exploreRep(backend string, w paracrash.Workload, mode paracrash.Mode, model paracrash.Model, workers int, representative bool) (*paracrash.Report, error) {
 	c.nruns.Add(1)
 	c.runs.Inc()
 	fs, err := exps.NewFS(backend, exps.ConfigFor(backend), trace.NewRecorder())
@@ -224,6 +240,8 @@ func (c *campaign) explore(backend string, w paracrash.Workload, mode paracrash.
 	opts.Workers = workers
 	opts.Obs = c.obs
 	opts.Retry = c.cfg.Retry
+	opts.DisableRepresentative = !representative
+	opts.LegalMemo = c.memo
 	if c.cfg.FaultRate > 0 {
 		// A fresh plan per invocation: injection decisions are seed+point
 		// hashes, so every run of a cell faces identical fault weather with
@@ -289,7 +307,8 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	defer stopCampaign()
 
 	progs := cfg.workloadList()
-	c := &campaign{cfg: &cfg, ctx: ctx, runs: run.Counter("campaign/explorer-runs"), obs: run}
+	c := &campaign{cfg: &cfg, ctx: ctx, runs: run.Counter("campaign/explorer-runs"), obs: run,
+		memo: paracrash.NewLegalMemo()}
 	ctrCells := run.Counter("campaign/cells")
 	ctrViol := run.Counter("campaign/violations")
 	run.Gauge("campaign/workloads").Set(int64(len(progs)))

@@ -14,7 +14,7 @@ import (
 
 // TestCampaignSmokeGreen runs a tiny campaign (2 seeds + the length-1
 // enumeration on the two cheapest backends) and expects every oracle to pass
-// with the exact run accounting: seven explorer invocations per cell.
+// with the exact run accounting: eight explorer invocations per cell.
 func TestCampaignSmokeGreen(t *testing.T) {
 	run := obs.NewRun()
 	res, err := Run(Config{
@@ -32,8 +32,8 @@ func TestCampaignSmokeGreen(t *testing.T) {
 	if res.Cells != res.Workloads*2 {
 		t.Fatalf("cells = %d, want workloads(%d) × 2 backends", res.Cells, res.Workloads)
 	}
-	if want := int64(res.Cells * 7); res.ExplorerRuns != want {
-		t.Fatalf("explorer runs = %d, want %d (7 per cell)", res.ExplorerRuns, want)
+	if want := int64(res.Cells * 8); res.ExplorerRuns != want {
+		t.Fatalf("explorer runs = %d, want %d (8 per cell)", res.ExplorerRuns, want)
 	}
 	sum := run.Summary()
 	if sum.Counters["campaign/cells"] != int64(res.Cells) {

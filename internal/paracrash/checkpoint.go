@@ -289,10 +289,15 @@ func syncDir(dir string) error {
 // change scheduling, effort and fault weather, never a verdict, so a
 // journal written under one of each is valid under any other.
 func checkpointConfig(workload, fsName string, opts Options) string {
-	return fmt.Sprintf("v%d|%s|%s|%s|pfs=%d|lib=%d|k=%d|fm=%d|mf=%d|ms=%d|mlo=%d|mls=%d|nosem=%t|notsp=%t",
+	// norep is part of the fingerprint although it never changes a verdict:
+	// representative runs journal one record per class (members are
+	// attributed, never journaled), so resuming a brute journal into a
+	// representative run — or vice versa — would change which states are
+	// charged as resumed and break the byte-identical-resume guarantee.
+	return fmt.Sprintf("v%d|%s|%s|%s|pfs=%d|lib=%d|k=%d|fm=%d|mf=%d|ms=%d|mlo=%d|mls=%d|nosem=%t|notsp=%t|norep=%t",
 		checkpointVersion, workload, fsName, opts.Mode,
 		opts.PFSModel, opts.LibModel,
 		opts.Emulator.K, opts.Emulator.FrontMode, opts.Emulator.MaxFronts, opts.Emulator.MaxStates,
 		opts.MaxLayerOps, opts.MaxLegalStates,
-		opts.DisableSemanticPruning, opts.DisableTSP)
+		opts.DisableSemanticPruning, opts.DisableTSP, opts.DisableRepresentative)
 }

@@ -218,6 +218,12 @@ func TestCheckpointConfigCoversVerdictKnobs(t *testing.T) {
 		t.Error("fingerprint ignores file system")
 	}
 
+	norep := DefaultOptions()
+	norep.DisableRepresentative = true
+	if checkpointConfig("ARVR", "beegfs", norep) == fp {
+		t.Error("fingerprint ignores DisableRepresentative: representative journals hold one record per class, so a journal written in one mode must not resume a run in the other")
+	}
+
 	transparent := DefaultOptions()
 	transparent.Workers = 7
 	transparent.Retry = RetryPolicy{MaxAttempts: 9}

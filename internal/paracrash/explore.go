@@ -151,6 +151,18 @@ type Options struct {
 	// DisableTSP makes the optimized mode visit crash states in recording
 	// order instead of the greedy travelling-salesman tour.
 	DisableTSP bool
+	// DisableRepresentative turns off representative-state exploration
+	// (see representative.go) and falls back to checking every crash state
+	// brute-force. The default (off) groups states into equivalence classes
+	// by a pre-check digest, checks one representative per class and
+	// attributes its verdict to every member, so the report stays
+	// byte-identical while Stats.StatesChecked collapses to the class count.
+	DisableRepresentative bool
+
+	// LegalMemo, when non-nil, shares legal-state sets across runs of the
+	// same workload on the same file system (see LegalMemo); the fuzz
+	// campaign threads one memo through every explorer run of a cell.
+	LegalMemo *LegalMemo
 
 	// Obs, when non-nil, receives phase timings, counters, gauges and
 	// progress events for the run (see internal/obs). Observability is
@@ -245,12 +257,20 @@ type Stats struct {
 	LowermostOps    int
 	StatesGenerated int
 	StatesChecked   int
-	StatesPruned    int
-	ServerRestores  int
-	OpsReplayed     int
-	LegalPFSStates  int
-	LegalLibStates  int
-	Duration        time.Duration
+	// StatesDeduped counts crash states whose verdict was attributed from
+	// their equivalence-class representative instead of being reconstructed
+	// (representative exploration; 0 when DisableRepresentative is set).
+	// StatesChecked + StatesDeduped equals the brute-force StatesChecked.
+	StatesDeduped int
+	// StateClasses is the number of distinct equivalence classes the
+	// visited states collapsed into (0 when DisableRepresentative is set).
+	StateClasses   int
+	StatesPruned   int
+	ServerRestores int
+	OpsReplayed    int
+	LegalPFSStates int
+	LegalLibStates int
+	Duration       time.Duration
 }
 
 // InconsistentState describes one failed crash state, pre-deduplication.
@@ -308,6 +328,10 @@ func (r *Report) Format() string {
 	fmt.Fprintf(&b, "=== ParaCrash report: %s on %s (%s) ===\n", r.Program, r.FS, r.Mode)
 	fmt.Fprintf(&b, "trace: %d ops (%d lowermost) | crash states: %d generated, %d checked, %d pruned\n",
 		r.Stats.TraceOps, r.Stats.LowermostOps, r.Stats.StatesGenerated, r.Stats.StatesChecked, r.Stats.StatesPruned)
+	if r.Stats.StatesDeduped > 0 || r.Stats.StateClasses > 0 {
+		fmt.Fprintf(&b, "representative: %d states attributed from %d equivalence classes\n",
+			r.Stats.StatesDeduped, r.Stats.StateClasses)
+	}
 	fmt.Fprintf(&b, "legal states: %d pfs, %d lib | restores: %d servers, %d ops replayed | %.3fs\n",
 		r.Stats.LegalPFSStates, r.Stats.LegalLibStates, r.Stats.ServerRestores, r.Stats.OpsReplayed, r.Stats.Duration.Seconds())
 	fmt.Fprintf(&b, "inconsistent crash states: %d (library-only: %d)\n", r.Inconsistent, r.LibOnly)
@@ -387,6 +411,20 @@ type session struct {
 	// it and skips the redundant reconstruction.
 	outcomeFor func(key string) (checkResult, bool)
 
+	// Representative exploration (representative.go): classes maps a class
+	// key to its representative's verdict, dedupKeys marks state keys whose
+	// verdict was attributed from a class representative, imageDigests
+	// memoises the shadow-pipeline recovered-content digest per kept set,
+	// and the two front-status maps memoise per-front status vectors for
+	// classKey. All are session-private (workers keep their own), no locking.
+	classes        map[string]checkResult
+	dedupKeys      map[string]bool
+	imageDigests   map[string]string
+	frontPFSStatus map[string]string
+	frontLibStatus map[string]string
+	// memoScope namespaces this run inside opts.LegalMemo ("" = memo off).
+	memoScope string
+
 	// resumed holds verdicts replayed from a checkpoint journal, keyed like
 	// checkCache. Read-only during exploration (shared with shard workers).
 	resumed map[string]checkResult
@@ -404,6 +442,7 @@ type session struct {
 	// Stats reconciliation.
 	obs           *obs.Run
 	ctrChecked    *obs.Counter
+	ctrDeduped    *obs.Counter
 	ctrPruned     *obs.Counter
 	ctrBad        *obs.Counter
 	ctrRestores   *obs.Counter
@@ -421,6 +460,7 @@ type session struct {
 func (s *session) bindObs(r *obs.Run, prefix string) {
 	s.obs = r
 	s.ctrChecked = r.Counter(prefix + "states/checked")
+	s.ctrDeduped = r.Counter(prefix + "states/deduped")
 	s.ctrPruned = r.Counter(prefix + "states/pruned")
 	s.ctrBad = r.Counter(prefix + "states/inconsistent")
 	s.ctrRestores = r.Counter(prefix + "restores/servers")
@@ -523,9 +563,17 @@ func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload,
 		libReplayCache: map[string]string{},
 		legalLibCache:  map[string]map[string]bool{},
 		checkCache:     map[string]checkResult{},
+		classes:        map[string]checkResult{},
+		dedupKeys:      map[string]bool{},
+		imageDigests:   map[string]string{},
+		frontPFSStatus: map[string]string{},
+		frontLibStatus: map[string]string{},
 	}
 	if lib != nil {
 		s.libOps = NewLayerOps(g, trace.LayerIOLib, lib.IsLibOp)
+	}
+	if opts.LegalMemo != nil {
+		s.memoScope = legalMemoScope(fs, w.Name(), ops, opts)
 	}
 	s.bindObs(opts.Obs, "")
 	s.stats.TraceOps = len(ops)
@@ -631,8 +679,13 @@ func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload,
 
 	handle := func(cs CrashState) {
 		res := s.check(cs)
-		s.stats.StatesChecked++
-		s.ctrChecked.Inc()
+		if s.dedupKeys[cs.Front.Key()+"|"+cs.Keep.Key()] {
+			s.stats.StatesDeduped++
+			s.ctrDeduped.Inc()
+		} else {
+			s.stats.StatesChecked++
+			s.ctrChecked.Inc()
+		}
 		if res.skipped {
 			var victims []string
 			for _, v := range cs.Victims {
@@ -730,6 +783,8 @@ func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload,
 	}
 
 	report.Bugs = bugs.Bugs()
+	s.stats.StateClasses = len(s.classes)
+	opts.Obs.Gauge("states/classes").Set(int64(s.stats.StateClasses))
 	s.stats.Duration = time.Since(start)
 	report.Stats = s.stats
 	return report, nil
@@ -801,12 +856,29 @@ func (s *session) check(cs CrashState) checkResult {
 	if r, ok := s.checkCache[key]; ok {
 		return r
 	}
+	ckey := ""
+	if s.representative() {
+		ckey = s.classKey(cs)
+	}
 	if r, ok := s.resumed[key]; ok {
 		// The verdict was journaled by a previous (interrupted) run; charge
-		// what computing it would have charged and skip the work.
+		// what computing it would have charged and skip the work. Only
+		// representatives are ever journaled, so re-record the class: the
+		// resumed run then deduplicates members exactly like a fresh one.
 		s.chargeOutcome(cs, r)
 		s.checkCache[key] = r
+		s.recordClass(ckey, r)
 		return r
+	}
+	if ckey != "" {
+		if r, ok := s.classes[ckey]; ok {
+			// A state of the same equivalence class already carries the
+			// verdict: attribute it without reconstructing. Members are not
+			// journaled — on resume they re-attribute from the replayed
+			// representative, keeping the journal one record per class.
+			s.attributeClass(key, r)
+			return r
+		}
 	}
 	if s.outcomeFor != nil {
 		if r, ok := s.outcomeFor(key); ok {
@@ -814,12 +886,14 @@ func (s *session) check(cs CrashState) checkResult {
 			// charge exactly what reconstruct+verdict would have charged.
 			s.chargeOutcome(cs, r)
 			s.checkCache[key] = r
+			s.recordClass(ckey, r)
 			s.journal(key, r)
 			return r
 		}
 	}
 	r := s.checkWithRetry(cs)
 	s.checkCache[key] = r
+	s.recordClass(ckey, r)
 	s.journal(key, r)
 	return r
 }
@@ -1068,6 +1142,12 @@ func (s *session) legalPFS(cs CrashState, status []Status) (map[string]bool, err
 	if set, ok := s.legalPFSCache[key]; ok {
 		return set, nil
 	}
+	if set, ok := s.memoLookup("pfs", s.opts.PFSModel, key); ok {
+		s.legalPFSCache[key] = set
+		s.stats.LegalPFSStates = max(s.stats.LegalPFSStates, len(set))
+		s.gaugeLegalPFS.Max(int64(len(set)))
+		return set, nil
+	}
 	set := map[string]bool{}
 	var rerr error
 	s.pfsOps.PreservedSets(s.opts.PFSModel, status, s.opts.MaxLegalStates, func(sel []int) bool {
@@ -1083,6 +1163,7 @@ func (s *session) legalPFS(cs CrashState, status []Status) (map[string]bool, err
 		return nil, rerr
 	}
 	s.legalPFSCache[key] = set
+	s.memoStore("pfs", s.opts.PFSModel, key, set)
 	s.stats.LegalPFSStates = max(s.stats.LegalPFSStates, len(set))
 	s.gaugeLegalPFS.Max(int64(len(set)))
 	return set, nil
@@ -1094,6 +1175,12 @@ func (s *session) legalLib(cs CrashState, status []Status) map[string]bool {
 	if set, ok := s.legalLibCache[key]; ok {
 		return set
 	}
+	if set, ok := s.memoLookup("lib/"+s.lib.Name(), s.opts.LibModel, key); ok {
+		s.legalLibCache[key] = set
+		s.stats.LegalLibStates = max(s.stats.LegalLibStates, len(set))
+		s.gaugeLegalLib.Max(int64(len(set)))
+		return set
+	}
 	set := map[string]bool{}
 	s.libOps.PreservedSets(s.opts.LibModel, status, s.opts.MaxLegalStates, func(sel []int) bool {
 		if st, err := s.replayLib(sel); err == nil {
@@ -1102,6 +1189,7 @@ func (s *session) legalLib(cs CrashState, status []Status) map[string]bool {
 		return true
 	})
 	s.legalLibCache[key] = set
+	s.memoStore("lib/"+s.lib.Name(), s.opts.LibModel, key, set)
 	s.stats.LegalLibStates = max(s.stats.LegalLibStates, len(set))
 	s.gaugeLegalLib.Max(int64(len(set)))
 	return set
@@ -1208,6 +1296,26 @@ func (s *session) runOptimized(states []CrashState, skip func(CrashState) bool, 
 		if skip(cs) {
 			continue
 		}
+		key := cs.Front.Key() + "|" + cs.Keep.Key()
+		ckey := ""
+		if s.representative() {
+			ckey = s.classKey(cs)
+		}
+		if ckey != "" {
+			if _, ok := s.checkCache[key]; !ok {
+				if r, hit := s.classes[ckey]; hit {
+					// Class member: attribute the representative's verdict.
+					// Neither the arithmetic walk nor the physical cluster
+					// advances — the incremental tour simply steps over the
+					// state, which is exactly the effort the report shows.
+					s.attributeClass(key, r)
+					applied := s.fs.Snapshot()
+					handle(cs)
+					s.fs.Restore(applied)
+					continue
+				}
+			}
+		}
 		// Arithmetic charging: the incremental restore/replay cost this
 		// state adds to the walk, independent of faults and resume.
 		for pi, p := range procs {
@@ -1222,7 +1330,6 @@ func (s *session) runOptimized(states []CrashState, skip func(CrashState) bool, 
 			}
 			cur[pi] = sigs[idx][pi]
 		}
-		key := cs.Front.Key() + "|" + cs.Keep.Key()
 		if _, ok := s.checkCache[key]; !ok {
 			if r, ok := s.resumed[key]; ok {
 				// Journaled verdict: seed the cache before handle's check so
@@ -1234,9 +1341,11 @@ func (s *session) runOptimized(states []CrashState, skip func(CrashState) bool, 
 					s.chargeLegal(r)
 				}
 				s.checkCache[key] = r
+				s.recordClass(ckey, r)
 			} else {
 				r := s.optimizedCheck(cs, sigs[idx], procs, serverOps, phys)
 				s.checkCache[key] = r
+				s.recordClass(ckey, r)
 				s.journal(key, r)
 			}
 		}

@@ -40,3 +40,37 @@ func FuzzParseModel(f *testing.F) {
 		}
 	})
 }
+
+// FuzzStateDigest pins the properties representative-state bucketing
+// borrows from the digest: determinism, the layer-qualified shape
+// ("layer:16-hex"), and discrimination — two (layer, content) pairs
+// collide exactly when they are equal, so two crash states with different
+// recovered content can never share a class key.
+func FuzzStateDigest(f *testing.F) {
+	f.Add("pfs", "dir /\nfile /a 3 abc\n", "pfs", "dir /\n")
+	f.Add("crash", "dir /\nfile /a 3 abc\n", "crash", "dir /\nfile /a 3 abc\n")
+	f.Add("crash", "UNRECOVERABLE: torn journal", "crash", "UNMOUNTABLE: no superblock")
+	f.Add("h5", "", "pfs", "")
+	f.Add("", "x", "x", "")
+	f.Fuzz(func(t *testing.T, layerA, contentA, layerB, contentB string) {
+		da := StateDigest(layerA, contentA)
+		if da != StateDigest(layerA, contentA) {
+			t.Fatalf("StateDigest(%q, %q) not deterministic", layerA, contentA)
+		}
+		if len(da) != len(layerA)+1+16 || da[:len(layerA)] != layerA || da[len(layerA)] != ':' {
+			t.Fatalf("StateDigest(%q, %q) = %q, want layer-prefixed 16-hex", layerA, contentA, da)
+		}
+		for _, c := range da[len(layerA)+1:] {
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				t.Fatalf("StateDigest(%q, %q) = %q: non-hex digest byte %q", layerA, contentA, da, c)
+			}
+		}
+		db := StateDigest(layerB, contentB)
+		if layerA == layerB && contentA == contentB && da != db {
+			t.Fatalf("equal inputs digest differently: %q vs %q", da, db)
+		}
+		if (layerA != layerB || contentA != contentB) && da == db {
+			t.Fatalf("distinct inputs (%q,%q) vs (%q,%q) collide on %q", layerA, contentA, layerB, contentB, da)
+		}
+	})
+}

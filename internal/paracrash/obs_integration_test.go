@@ -40,6 +40,7 @@ func TestObsCountersReconcileWithStats(t *testing.T) {
 				wantCounters := map[string]int64{
 					"states/generated":    int64(rep.Stats.StatesGenerated),
 					"states/checked":      int64(rep.Stats.StatesChecked),
+					"states/deduped":      int64(rep.Stats.StatesDeduped),
 					"states/pruned":       int64(rep.Stats.StatesPruned),
 					"restores/servers":    int64(rep.Stats.ServerRestores),
 					"ops/replayed":        int64(rep.Stats.OpsReplayed),
@@ -53,8 +54,9 @@ func TestObsCountersReconcileWithStats(t *testing.T) {
 					}
 				}
 				wantGauges := map[string]int64{
-					"legal/pfs": int64(rep.Stats.LegalPFSStates),
-					"legal/lib": int64(rep.Stats.LegalLibStates),
+					"legal/pfs":      int64(rep.Stats.LegalPFSStates),
+					"legal/lib":      int64(rep.Stats.LegalLibStates),
+					"states/classes": int64(rep.Stats.StateClasses),
 				}
 				for name, want := range wantGauges {
 					if got := s.Gauges[name]; got != want {

@@ -188,6 +188,12 @@ func (s *session) shardSession(fs pfs.FileSystem) *session {
 		libReplayCache: map[string]string{},
 		legalLibCache:  map[string]map[string]bool{},
 		checkCache:     map[string]checkResult{},
+		classes:        map[string]checkResult{},
+		dedupKeys:      map[string]bool{},
+		imageDigests:   map[string]string{},
+		frontPFSStatus: map[string]string{},
+		frontLibStatus: map[string]string{},
+		memoScope:      s.memoScope,
 		goldenPFS:      s.goldenPFS,
 		goldenLib:      s.goldenLib,
 		// The resumed map is shared read-only: workers skip journaled states
@@ -302,7 +308,11 @@ func (ws *session) exploreShard(states []CrashState, ids []int, bugs *BugSet, bo
 			continue
 		}
 		board.publish(id, ws.check(cs))
-		ws.ctrChecked.Inc()
+		if ws.dedupKeys[stateKey(cs)] {
+			ws.ctrDeduped.Inc()
+		} else {
+			ws.ctrChecked.Inc()
+		}
 		pending.Add(-1)
 	}
 }
@@ -349,6 +359,21 @@ func (ws *session) exploreShardOptimized(states []CrashState, ids []int, bugs *B
 			pending.Add(-1)
 			continue
 		}
+		ckey := ""
+		if ws.representative() {
+			ckey = ws.classKey(cs)
+			if r, hit := ws.classes[ckey]; hit {
+				// Class member: publish the shard-local representative's
+				// verdict without advancing the incremental tour. The class
+				// verdict is byte-identical to what this state would compute
+				// (the class key captures every verdict input), so the merge
+				// stays deterministic regardless of shard-local class shape.
+				board.publish(ids[k], r)
+				ws.ctrDeduped.Inc()
+				pending.Add(-1)
+				continue
+			}
+		}
 		for pi, p := range procs {
 			if cur[pi] == sigs[k][pi] {
 				continue
@@ -365,6 +390,7 @@ func (ws *session) exploreShardOptimized(states []CrashState, ids []int, bugs *B
 		if !ok {
 			r = ws.optimizedCheck(cs, sigs[k], procs, serverOps, phys)
 		}
+		ws.recordClass(ckey, r)
 		board.publish(ids[k], r)
 		ws.ctrChecked.Inc()
 		pending.Add(-1)
@@ -393,6 +419,24 @@ func (s *session) mergeOptimized(states []CrashState, board *resultBoard, skip f
 		if skip(cs) {
 			continue
 		}
+		key := stateKey(cs)
+		ckey := ""
+		if s.representative() {
+			ckey = s.classKey(cs)
+		}
+		if ckey != "" {
+			if _, ok := s.checkCache[key]; !ok {
+				if res, hit := s.classes[ckey]; hit {
+					// Class member, mirroring the serial optimized walk: the
+					// verdict is attributed, the arithmetic tour does not
+					// advance, and the board entry (the worker published one
+					// for every state) is simply never awaited.
+					s.attributeClass(key, res)
+					handle(cs)
+					continue
+				}
+			}
+		}
 		for pi, p := range procs {
 			if cur[pi] == sigs[idx][pi] {
 				continue
@@ -405,7 +449,6 @@ func (s *session) mergeOptimized(states []CrashState, board *resultBoard, skip f
 			}
 			cur[pi] = sigs[idx][pi]
 		}
-		key := stateKey(cs)
 		if _, ok := s.checkCache[key]; !ok {
 			if res, ok := s.resumed[key]; ok {
 				// Journaled verdict: the arithmetic walk above already paid
@@ -417,6 +460,7 @@ func (s *session) mergeOptimized(states []CrashState, board *resultBoard, skip f
 					s.chargeLegal(res)
 				}
 				s.checkCache[key] = res
+				s.recordClass(ckey, res)
 			} else {
 				res, fromBoard := board.await(idx)
 				if !fromBoard {
@@ -425,6 +469,7 @@ func (s *session) mergeOptimized(states []CrashState, board *resultBoard, skip f
 					s.ctrSkipped.Inc()
 				}
 				s.checkCache[key] = res
+				s.recordClass(ckey, res)
 				s.chargeLegal(res)
 				s.journal(key, res)
 			}

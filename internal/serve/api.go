@@ -75,6 +75,10 @@ type JobRequest struct {
 	// Workers is the per-job exploration worker budget; the scheduler
 	// clamps it to its per-job maximum. 0 keeps the scheduler's default.
 	Workers int `json:"workers,omitempty"`
+	// Representative toggles representative-state exploration (nil keeps
+	// the engine default: on). Set false for a brute-force-equivalent run
+	// that reconstructs every crash state.
+	Representative *bool `json:"representative,omitempty"`
 	// Clients/Rows/Cols/ResizeRows/ResizeCols are the H5 program knobs;
 	// zero values keep workloads.DefaultH5Params.
 	Clients    int `json:"clients,omitempty"`
@@ -195,6 +199,9 @@ func (r *JobRequest) options(maxWorkers int) core.Options {
 	}
 	if maxWorkers > 0 && opts.Workers > maxWorkers {
 		opts.Workers = maxWorkers
+	}
+	if r.Representative != nil {
+		opts.DisableRepresentative = !*r.Representative
 	}
 	return opts
 }
