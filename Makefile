@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck doclint test race ci bench gobench experiments examples fuzz fuzz-smoke chaos representative clean
+.PHONY: all build vet fmtcheck doclint test race ci bench gobench experiments examples fuzz fuzz-smoke chaos representative incremental clean
 
 all: build vet test
 
@@ -32,12 +32,16 @@ race:
 	$(GO) test -race ./...
 
 # Everything a change must pass before it lands.
-ci: build vet fmtcheck doclint test race fuzz-smoke chaos representative
+ci: build vet fmtcheck doclint test race fuzz-smoke chaos representative incremental
 
 # Run the benchmark trajectory with observability enabled and write the
-# per-run summary (phase timings, counters, Stats) as BENCH_<stamp>.json.
+# per-run summary (phase timings, counters, Stats) as BENCH_<stamp>.json,
+# then diff states_per_sec per cell against the latest committed trajectory
+# file and warn on >20% regressions.
 bench:
-	$(GO) run ./cmd/experiments -exp bench -bench-out BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json
+	@out=BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json; \
+	$(GO) run ./cmd/experiments -exp bench -bench-out $$out && \
+	$(GO) run ./internal/tools/benchdiff $$out
 
 # Go micro/macro benchmarks (paper tables and figures as testing.B).
 gobench:
@@ -49,6 +53,13 @@ gobench:
 # corpus and the white-box collision proofs.
 representative:
 	$(GO) test ./internal/paracrash/ -run 'TestRepresentative|TestClassKey|TestCrashDigest|FuzzStateDigest' -count=1 -v
+
+# O(delta) reconstruction gate: the incremental engine's differential suite
+# (every backend, both workload families) — verdict equivalence against the
+# legacy full-restore engine, state-level Serialize/Hash identity of delta
+# reconstruction, fault transparency and kill/resume chaos.
+incremental:
+	$(GO) test ./internal/paracrash/ -run 'TestIncremental' -count=1 -v
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -54,6 +54,8 @@ func main() {
 	fuzzFaultRate := flag.Float64("fault-rate", 0, "fuzz: inject faults into the engine's own I/O with this probability in [0,1] (0 = off)")
 	representative := flag.Bool("representative", true, "group crash states into recovered-content equivalence classes and check one representative per class")
 	noRep := flag.Bool("no-representative", false, "check every crash state brute-force-equivalently (same as -representative=false)")
+	incremental := flag.Bool("incremental", true, "reconstruct crash states in O(delta) via cached prefix-root restores and delta replay")
+	noInc := flag.Bool("no-incremental", false, "rebuild every crash state with a full restore and replay (same as -incremental=false)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
@@ -75,20 +77,27 @@ func main() {
 	if *fuzzFaultRate < 0 || *fuzzFaultRate > 1 {
 		fatal(fmt.Errorf("-fault-rate must be in [0,1], got %g", *fuzzFaultRate))
 	}
-	repSet := false
+	repSet, incSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "representative" {
+		switch f.Name {
+		case "representative":
 			repSet = true
+		case "incremental":
+			incSet = true
 		}
 	})
 	if repSet && *representative && *noRep {
 		fatal(fmt.Errorf("-representative=true conflicts with -no-representative"))
 	}
-	// opts carries the knob into the option-taking experiments; the §6.4
-	// speedups contrast pins its own setting to measure the paper's
+	if incSet && *incremental && *noInc {
+		fatal(fmt.Errorf("-incremental=true conflicts with -no-incremental"))
+	}
+	// opts carries the knobs into the option-taking experiments; the §6.4
+	// speedups contrast pins its own settings to measure the paper's
 	// strategies in isolation.
 	opts := core.DefaultOptions()
 	opts.DisableRepresentative = *noRep || !*representative
+	opts.DisableIncremental = *noInc || !*incremental
 
 	h5p := workloads.DefaultH5Params()
 	run := func(name string) {

@@ -49,6 +49,8 @@ func main() {
 
 		representative = flag.Bool("representative", true, "group crash states into recovered-content equivalence classes and check one representative per class")
 		noRep          = flag.Bool("no-representative", false, "check every crash state brute-force-equivalently (same as -representative=false)")
+		incremental    = flag.Bool("incremental", true, "reconstruct crash states in O(delta) via cached prefix-root restores and delta replay")
+		noInc          = flag.Bool("no-incremental", false, "rebuild every crash state with a full restore and replay (same as -incremental=false)")
 
 		remote = flag.String("remote", "", "submit the run as a job to a paracrashd at this address (e.g. localhost:7077) instead of exploring locally")
 
@@ -94,16 +96,23 @@ func main() {
 	if *faultRate < 0 || *faultRate > 1 {
 		fatalIf(fmt.Errorf("-fault-rate must be in [0,1], got %g", *faultRate))
 	}
-	repSet := false
+	repSet, incSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "representative" {
+		switch f.Name {
+		case "representative":
 			repSet = true
+		case "incremental":
+			incSet = true
 		}
 	})
 	if repSet && *representative && *noRep {
 		fatalIf(fmt.Errorf("-representative=true conflicts with -no-representative"))
 	}
+	if incSet && *incremental && *noInc {
+		fatalIf(fmt.Errorf("-incremental=true conflicts with -no-incremental"))
+	}
 	repOn := *representative && !*noRep
+	incOn := *incremental && !*noInc
 
 	if *list {
 		fmt.Println("file systems:", strings.Join(exps.FSNames(), ", "))
@@ -131,6 +140,7 @@ func main() {
 			Clients: *clients, Rows: *rows, Cols: *cols,
 			ResizeRows: *rrows, ResizeCols: *rcols,
 			Representative: &repOn,
+			Incremental:    &incOn,
 		}, *jsonOut, *verbose))
 	}
 
@@ -138,6 +148,7 @@ func main() {
 	opts.Emulator.K = *k
 	opts.Workers = *workers
 	opts.DisableRepresentative = !repOn
+	opts.DisableIncremental = !incOn
 	switch *mode {
 	case "brute":
 		opts.Mode = core.ModeBrute

@@ -7,6 +7,12 @@
 // any write issued after it on the same device. As with package vfs, the
 // persist-before relation itself is computed by package causality — this
 // package only provides replayable ops, snapshots and canonical hashing.
+//
+// The block table is a persistent, structurally-shared map, so Snapshot and
+// Restore are O(1) pointer copies. Block contents are never mutated in
+// place (Write installs a fresh copy), so no per-block ownership tracking
+// is needed: sharing the trie is always safe. An *Dev returned by Snapshot
+// must not be written to.
 package blockdev
 
 import (
@@ -15,6 +21,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"paracrash/internal/persist"
 )
 
 // OpKind enumerates replayable block-device commands.
@@ -46,22 +54,22 @@ func (o Op) String() string {
 // holds exactly the bytes most recently written to it, which is sufficient
 // for whole-block-granularity crash emulation.
 type Dev struct {
-	blocks map[int64][]byte
+	blocks persist.Map[int64, []byte]
 }
 
 // New returns an empty device.
 func New() *Dev {
-	return &Dev{blocks: make(map[int64][]byte)}
+	return &Dev{blocks: persist.NewMap[int64, []byte](persist.Int64Hash)}
 }
 
 // Write stores data at lba, replacing any previous contents.
 func (d *Dev) Write(lba int64, data []byte) {
-	d.blocks[lba] = append([]byte(nil), data...)
+	d.blocks = d.blocks.Set(lba, append([]byte(nil), data...))
 }
 
 // Read returns the contents of lba and whether the block has been written.
 func (d *Dev) Read(lba int64) ([]byte, bool) {
-	b, ok := d.blocks[lba]
+	b, ok := d.blocks.Get(lba)
 	if !ok {
 		return nil, false
 	}
@@ -70,15 +78,16 @@ func (d *Dev) Read(lba int64) ([]byte, bool) {
 
 // Erase removes the block at lba (models discard; used by fsck policies).
 func (d *Dev) Erase(lba int64) {
-	delete(d.blocks, lba)
+	d.blocks = d.blocks.Delete(lba)
 }
 
 // LBAs returns the sorted set of written block addresses.
 func (d *Dev) LBAs() []int64 {
-	out := make([]int64, 0, len(d.blocks))
-	for lba := range d.blocks {
+	out := make([]int64, 0, d.blocks.Len())
+	d.blocks.Range(func(lba int64, _ []byte) bool {
 		out = append(out, lba)
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -96,19 +105,16 @@ func (d *Dev) Apply(op Op) error {
 	}
 }
 
-// Snapshot returns a deep copy of the device.
+// Snapshot returns an immutable O(1) snapshot sharing the block trie. The
+// returned Dev must not be written to.
 func (d *Dev) Snapshot() *Dev {
-	c := New()
-	for lba, b := range d.blocks {
-		c.blocks[lba] = append([]byte(nil), b...)
-	}
-	return c
+	return &Dev{blocks: d.blocks}
 }
 
-// Restore replaces the contents of d with a deep copy of snap.
+// Restore adopts snap's block trie in O(1). snap is only read and may be
+// restored into any number of devices, including concurrently.
 func (d *Dev) Restore(snap *Dev) {
-	c := snap.Snapshot()
-	d.blocks = c.blocks
+	d.blocks = snap.blocks
 }
 
 // Serialize renders the device state canonically: one line per written LBA
@@ -116,8 +122,9 @@ func (d *Dev) Restore(snap *Dev) {
 func (d *Dev) Serialize() string {
 	var b strings.Builder
 	for _, lba := range d.LBAs() {
-		sum := sha256.Sum256(d.blocks[lba])
-		fmt.Fprintf(&b, "%d %d %s\n", lba, len(d.blocks[lba]), hex.EncodeToString(sum[:8]))
+		blk, _ := d.blocks.Get(lba)
+		sum := sha256.Sum256(blk)
+		fmt.Fprintf(&b, "%d %d %s\n", lba, len(blk), hex.EncodeToString(sum[:8]))
 	}
 	return b.String()
 }

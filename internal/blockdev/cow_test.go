@@ -1,0 +1,59 @@
+package blockdev
+
+import "testing"
+
+// TestRestoreAliasing proves Restore is a safe O(1) adoption: writes and
+// erases after a restore must never leak into the source snapshot or into
+// sibling devices restored from the same snapshot.
+func TestRestoreAliasing(t *testing.T) {
+	d := New()
+	d.Write(1, []byte("one"))
+	d.Write(2, []byte("two"))
+	snap := d.Snapshot()
+	want := snap.Serialize()
+
+	a, b := New(), New()
+	a.Restore(snap)
+	b.Restore(snap)
+
+	a.Write(1, []byte("CLOBBERED"))
+	a.Write(9, []byte("new"))
+	a.Erase(2)
+
+	if got := snap.Serialize(); got != want {
+		t.Fatalf("snapshot mutated through restored device:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if got := b.Serialize(); got != want {
+		t.Fatalf("sibling mutated through restored device:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if blk, ok := b.Read(1); !ok || string(blk) != "one" {
+		t.Fatalf("sibling block changed: %q, %v", blk, ok)
+	}
+	if blk, ok := a.Read(1); !ok || string(blk) != "CLOBBERED" {
+		t.Fatalf("mutated side lost its write: %q, %v", blk, ok)
+	}
+}
+
+// TestSnapshotAllocsO1 is the CI guard that Snapshot stays O(1) regardless
+// of how many blocks the device holds.
+func TestSnapshotAllocsO1(t *testing.T) {
+	d := New()
+	for i := int64(0); i < 1000; i++ {
+		d.Write(i, make([]byte, 64))
+	}
+	var sink *Dev
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = d.Snapshot()
+	})
+	_ = sink
+	if allocs > 1 {
+		t.Fatalf("Snapshot allocates %.1f objects on a 1000-block device; want O(1)", allocs)
+	}
+	snap := d.Snapshot()
+	allocs = testing.AllocsPerRun(100, func() {
+		d.Restore(snap)
+	})
+	if allocs > 0 {
+		t.Fatalf("Restore allocates %.1f objects; want 0", allocs)
+	}
+}

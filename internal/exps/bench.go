@@ -22,16 +22,27 @@ type BenchRecord struct {
 	// exploration (recovered-content equivalence classes); the trajectory
 	// keeps one brute-force contrast cell with it off so the
 	// StatesChecked/StatesDeduped drop is visible inside a single file.
-	Representative bool    `json:"representative"`
-	Seconds        float64 `json:"seconds"`
+	Representative bool `json:"representative"`
+	// Incremental records whether the cell ran with O(delta) incremental
+	// reconstruction (prefix-root restore + delta replay); the trajectory
+	// keeps one contrast cell with it off so the ServerRestores/OpsReplayed
+	// collapse is visible inside a single file.
+	Incremental bool    `json:"incremental"`
+	Seconds     float64 `json:"seconds"`
 	// StatesPerSec is the verdict throughput: states covered per second,
 	// counting both reconstructed representatives and class-attributed
 	// members (Stats.StatesChecked + Stats.StatesDeduped over Seconds).
-	StatesPerSec float64         `json:"states_per_sec"`
-	Bugs         int             `json:"bugs"`
-	Stats        paracrash.Stats `json:"stats"`
-	Obs          *obs.Summary    `json:"obs"`
-	Err          string          `json:"error,omitempty"`
+	StatesPerSec float64 `json:"states_per_sec"`
+	// RestoresPerState is the reconstruction amortisation: server restores
+	// charged per covered state. The legacy engine pays one restore per
+	// server per reconstructed state; the incremental engine pays one per
+	// *changed* server, so this is the bench field that proves the O(delta)
+	// win (strictly below the per-state restore count of the legacy cell).
+	RestoresPerState float64         `json:"restores_per_state"`
+	Bugs             int             `json:"bugs"`
+	Stats            paracrash.Stats `json:"stats"`
+	Obs              *obs.Summary    `json:"obs"`
+	Err              string          `json:"error,omitempty"`
 }
 
 // BenchSummary is the whole BENCH_*.json document.
@@ -42,30 +53,41 @@ type BenchSummary struct {
 
 // benchCells is the fixed benchmark trajectory: the §6.4 strategy contrast
 // on ARVR/BeeGFS plus one representative cell per remaining file system.
-// The first two cells differ only in the representative-exploration knob,
-// so every BENCH_*.json carries its own brute-force baseline for the
-// class-attribution savings.
+// The first cells differ only in the representative-exploration and
+// incremental-reconstruction knobs, so every BENCH_*.json carries its own
+// brute-force and full-restore baselines for the class-attribution and
+// O(delta) savings.
 var benchCells = []struct {
 	fs, prog string
 	mode     paracrash.Mode
 	workers  int
 	norep    bool
+	noinc    bool
 }{
-	{"beegfs", "ARVR", paracrash.ModeBrute, 1, true}, // exhaustive baseline
-	{"beegfs", "ARVR", paracrash.ModeBrute, 1, false},
-	{"beegfs", "ARVR", paracrash.ModeBrute, 0, false}, // parallel, one worker per CPU
-	{"beegfs", "ARVR", paracrash.ModePruning, 1, false},
-	{"beegfs", "ARVR", paracrash.ModeOptimized, 1, false},
-	{"orangefs", "CR", paracrash.ModePruning, 1, false},
-	{"glusterfs", "WAL", paracrash.ModePruning, 1, false},
-	{"gpfs", "H5-create", paracrash.ModePruning, 1, false},
-	{"lustre", "H5-resize", paracrash.ModePruning, 1, false},
-	{"ext4", "CR", paracrash.ModePruning, 1, false},
+	{"beegfs", "ARVR", paracrash.ModeBrute, 1, true, true}, // exhaustive full-restore baseline
+	{"beegfs", "ARVR", paracrash.ModeBrute, 1, true, false},
+	{"beegfs", "ARVR", paracrash.ModeBrute, 1, false, false},
+	{"beegfs", "ARVR", paracrash.ModeBrute, 0, false, false}, // parallel, one worker per CPU
+	{"beegfs", "ARVR", paracrash.ModePruning, 1, false, false},
+	{"beegfs", "ARVR", paracrash.ModeOptimized, 1, false, false},
+	{"orangefs", "CR", paracrash.ModePruning, 1, false, false},
+	{"glusterfs", "WAL", paracrash.ModePruning, 1, false, false},
+	{"gpfs", "H5-create", paracrash.ModePruning, 1, false, false},
+	{"lustre", "H5-resize", paracrash.ModePruning, 1, false, false},
+	{"ext4", "CR", paracrash.ModePruning, 1, false, false},
 }
+
+// benchReps is how many times each cell runs; the fastest run's duration
+// is reported. A cell takes single-digit milliseconds, so a one-shot
+// measurement is dominated by process warm-up (allocator growth, first-GC)
+// noise — every run of a cell is deterministic and does identical work, so
+// the minimum duration is the cell's actual steady-state throughput.
+const benchReps = 5
 
 // Bench runs the benchmark trajectory with observability enabled and
 // returns the summary document. Each cell gets its own obs run, so the
-// per-cell phase timings and counters are independent.
+// per-cell phase timings and counters are independent; the obs summary
+// kept is the fastest repetition's.
 func Bench(h5p workloads.H5Params) *BenchSummary {
 	sum := &BenchSummary{GeneratedAt: time.Now().UTC()}
 	for _, cell := range benchCells {
@@ -74,29 +96,43 @@ func Bench(h5p workloads.H5Params) *BenchSummary {
 			sum.Records = append(sum.Records, BenchRecord{Program: cell.prog, FS: cell.fs, Err: err.Error()})
 			continue
 		}
-		run := obs.NewRun()
-		opts := paracrash.DefaultOptions()
-		opts.Mode = cell.mode
-		opts.Workers = cell.workers
-		opts.DisableRepresentative = cell.norep
-		opts.Obs = run
 		rec := BenchRecord{
 			Program: cell.prog, FS: cell.fs,
 			Mode: cell.mode.String(), Workers: cell.workers,
 			Representative: !cell.norep,
+			Incremental:    !cell.noinc,
 		}
-		rep, err := RunOne(cell.fs, prog, opts, h5p, ConfigFor(cell.fs))
-		if err != nil {
-			rec.Err = err.Error()
-		} else {
-			rec.Seconds = rep.Stats.Duration.Seconds()
-			rec.Bugs = len(rep.Bugs)
-			rec.Stats = rep.Stats
-			if rec.Seconds > 0 {
-				rec.StatesPerSec = float64(rep.Stats.StatesChecked+rep.Stats.StatesDeduped) / rec.Seconds
+		var best *paracrash.Report
+		var bestObs *obs.Run
+		for i := 0; i < benchReps; i++ {
+			run := obs.NewRun()
+			opts := paracrash.DefaultOptions()
+			opts.Mode = cell.mode
+			opts.Workers = cell.workers
+			opts.DisableRepresentative = cell.norep
+			opts.DisableIncremental = cell.noinc
+			opts.Obs = run
+			rep, err := RunOne(cell.fs, prog, opts, h5p, ConfigFor(cell.fs))
+			if err != nil {
+				rec.Err = err.Error()
+				break
+			}
+			if best == nil || rep.Stats.Duration < best.Stats.Duration {
+				best, bestObs = rep, run
 			}
 		}
-		rec.Obs = run.Summary()
+		if best != nil && rec.Err == "" {
+			rec.Seconds = best.Stats.Duration.Seconds()
+			rec.Bugs = len(best.Bugs)
+			rec.Stats = best.Stats
+			if rec.Seconds > 0 {
+				rec.StatesPerSec = float64(best.Stats.StatesChecked+best.Stats.StatesDeduped) / rec.Seconds
+			}
+			if covered := best.Stats.StatesChecked + best.Stats.StatesDeduped; covered > 0 {
+				rec.RestoresPerState = float64(best.Stats.ServerRestores) / float64(covered)
+			}
+			rec.Obs = bestObs.Summary()
+		}
 		sum.Records = append(sum.Records, rec)
 	}
 	return sum

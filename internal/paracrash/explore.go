@@ -158,6 +158,17 @@ type Options struct {
 	// attributes its verdict to every member, so the report stays
 	// byte-identical while Stats.StatesChecked collapses to the class count.
 	DisableRepresentative bool
+	// DisableIncremental turns off O(delta) incremental reconstruction and
+	// falls back to the legacy engine: every checked state restores all
+	// servers from the initial snapshot and replays its full kept sequence.
+	// The default (off) moves between crash states by restoring cached
+	// per-server prefix roots (O(1) structurally-shared snapshots) and
+	// replaying only the delta ops, charging Stats.ServerRestores and
+	// Stats.OpsReplayed for exactly that smaller effort. Reports are
+	// byte-identical either way; only effort stats and wall time differ.
+	// File systems that do not implement pfs.IncrementalStater always use
+	// the legacy engine regardless of this setting.
+	DisableIncremental bool
 
 	// LegalMemo, when non-nil, shares legal-state sets across runs of the
 	// same workload on the same file system (see LegalMemo); the fuzz
@@ -425,6 +436,14 @@ type session struct {
 	// memoScope namespaces this run inside opts.LegalMemo ("" = memo off).
 	memoScope string
 
+	// recon, when non-nil, is the O(delta) incremental reconstruction engine
+	// (see reconstruct.go): it tracks the live cluster's per-server state,
+	// caches prefix roots and carries the arithmetic effort accounting. nil
+	// means the legacy full-restore engine (Options.DisableIncremental, or a
+	// FileSystem without the pfs.IncrementalStater capability). Each session
+	// owns its reconstructor — shard workers build one over their clone.
+	recon *reconstructor
+
 	// resumed holds verdicts replayed from a checkpoint journal, keyed like
 	// checkCache. Read-only during exploration (shared with shard workers).
 	resumed map[string]checkResult
@@ -471,6 +490,10 @@ func (s *session) bindObs(r *obs.Run, prefix string) {
 	s.gaugeLegalPFS = r.Gauge(prefix + "legal/pfs")
 	s.gaugeLegalLib = r.Gauge(prefix + "legal/lib")
 }
+
+// incremental reports whether this session runs the O(delta) incremental
+// reconstruction engine.
+func (s *session) incremental() bool { return s.recon != nil }
 
 // chargeRestores charges n server restores to the stats and the counters.
 func (s *session) chargeRestores(n int) {
@@ -575,6 +598,13 @@ func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload,
 	if opts.LegalMemo != nil {
 		s.memoScope = legalMemoScope(fs, w.Name(), ops, opts)
 	}
+	if !opts.DisableIncremental {
+		if inc, ok := fs.(pfs.IncrementalStater); ok {
+			// O(delta) engine: newReconstructor returns nil when the initial
+			// snapshot lacks a store for some server, falling back to legacy.
+			s.recon = newReconstructor(s, inc)
+		}
+	}
 	s.bindObs(opts.Obs, "")
 	s.stats.TraceOps = len(ops)
 	s.stats.LowermostOps = len(emu.Universe)
@@ -644,6 +674,19 @@ func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload,
 				opts.Obs.Counter("checkpoint/flush-errors").Inc()
 			}
 		}()
+	}
+
+	// Prime the cluster for incremental exploration: the golden replay left
+	// re-executed content on the live stores — including on servers the
+	// traced run's lowermost ops never touched (replayed client ops may
+	// allocate fresh object IDs and place data differently). The legacy
+	// engine wipes that implicitly by restoring every server per state; the
+	// incremental engine only ever touches servers with universe ops, so
+	// everything else must start (and then provably stays) at the initial
+	// content. One O(1)-per-server adoption, uncharged like the restores
+	// inside the golden replay.
+	if s.incremental() {
+		fs.Restore(initial)
 	}
 
 	// Phase 3: crash emulation + checking.
@@ -891,6 +934,13 @@ func (s *session) check(cs CrashState) checkResult {
 			return r
 		}
 	}
+	if s.incremental() {
+		// Charge the arithmetic O(delta) cost of the visit up front: the
+		// charge is a pure function of the visit sequence, so faulted
+		// retries — and states that end up quarantined — report exactly the
+		// effort an unfaulted walk would.
+		s.recon.chargeState(cs)
+	}
 	r := s.checkWithRetry(cs)
 	s.checkCache[key] = r
 	s.recordClass(ckey, r)
@@ -899,9 +949,22 @@ func (s *session) check(cs CrashState) checkResult {
 }
 
 // chargeOutcome charges the stats a serial reconstruction+verdict of cs
-// would have charged, given its already-computed result. Skipped states
-// charge nothing: their failed attempts were rolled back.
+// would have charged, given its already-computed result. Under the legacy
+// engine skipped states charge nothing (their failed attempts were rolled
+// back); the incremental engine advances its arithmetic walk for every
+// charged visit — including quarantined ones, whose reconstruction was
+// attempted — so resumed and parallel runs replay identical charge
+// sequences.
 func (s *session) chargeOutcome(cs CrashState, r checkResult) {
+	if s.incremental() {
+		s.recon.chargeState(cs)
+		if r.skipped {
+			s.ctrSkipped.Inc()
+			return
+		}
+		s.chargeLegal(r)
+		return
+	}
 	if r.skipped {
 		s.ctrSkipped.Inc()
 		return
@@ -956,6 +1019,17 @@ func (s *session) checkWithRetry(cs CrashState) checkResult {
 // restore/replay charges back (stats and counters in lockstep), leaving the
 // accounting as if the attempt never ran.
 func (s *session) attemptCheck(cs CrashState) (res checkResult, err error) {
+	if s.incremental() {
+		// Incremental attempts charge nothing (check already paid the
+		// arithmetic delta), so no rollback needs arranging: bring quarantines
+		// its own panics and leaves faulted servers marked dirty for the next
+		// attempt to re-restore, and scratchVerdict restores the applied
+		// state around the (possibly panicking) verdict.
+		if err := s.recon.bring(cs); err != nil {
+			return checkResult{}, err
+		}
+		return s.scratchVerdict(cs)
+	}
 	restores, replayed := s.stats.ServerRestores, s.stats.OpsReplayed
 	defer func() {
 		if p := recover(); p != nil {
@@ -1039,22 +1113,42 @@ func (s *session) chargeLegal(r checkResult) {
 // loop; genuine recovery/mount failures remain verdicts — they are what the
 // checker exists to find.
 func (s *session) verdict(cs CrashState) (checkResult, error) {
-	if err := s.fs.Recover(); err != nil {
-		if faultinject.Is(err) {
+	var tree *pfs.Tree
+	var treeStr string
+	if s.incremental() {
+		// Recovery is a pure function of the kept set, so states sharing a
+		// Keep (and the digest shadow pipeline that already classified this
+		// one) share one memoised fsck+mount outcome.
+		o, err := s.recon.recoveredOutcome(cs)
+		if err != nil {
 			return checkResult{}, err
 		}
-		return checkResult{layer: "pfs", consequence: fmt.Sprintf("unrecoverable file system: %v", err), state: "UNRECOVERABLE"}, nil
-	}
-	tree, err := s.fs.Mount()
-	if err != nil {
-		if faultinject.Is(err) {
-			return checkResult{}, err
+		if o.recoverErr != "" {
+			return checkResult{layer: "pfs", consequence: "unrecoverable file system: " + o.recoverErr, state: "UNRECOVERABLE"}, nil
 		}
-		return checkResult{layer: "pfs", consequence: fmt.Sprintf("mount failed after fsck: %v", err), state: "UNMOUNTABLE"}, nil
+		if o.mountErr != "" {
+			return checkResult{layer: "pfs", consequence: "mount failed after fsck: " + o.mountErr, state: "UNMOUNTABLE"}, nil
+		}
+		tree, treeStr = o.tree, o.treeStr
+	} else {
+		if err := s.fs.Recover(); err != nil {
+			if faultinject.Is(err) {
+				return checkResult{}, err
+			}
+			return checkResult{layer: "pfs", consequence: fmt.Sprintf("unrecoverable file system: %v", err), state: "UNRECOVERABLE"}, nil
+		}
+		var err error
+		tree, err = s.fs.Mount()
+		if err != nil {
+			if faultinject.Is(err) {
+				return checkResult{}, err
+			}
+			return checkResult{layer: "pfs", consequence: fmt.Sprintf("mount failed after fsck: %v", err), state: "UNMOUNTABLE"}, nil
+		}
+		treeStr = tree.Serialize()
 	}
 
 	pfsStatus := s.pfsOps.StatusAgainst(cs.Front)
-	treeStr := tree.Serialize()
 
 	if s.lib == nil {
 		legal, err := s.legalPFS(cs, pfsStatus)
@@ -1215,6 +1309,11 @@ func (s *session) replayPFS(sel []int) (string, error) {
 	rec := s.fs.Recorder()
 	rec.SetEnabled(false)
 	s.fs.Restore(s.initial)
+	if s.recon != nil {
+		// The replay mutates the whole cluster; the incremental walk's
+		// physical tracking must not trust any server afterwards.
+		s.recon.markAllDirty()
+	}
 	for _, pos := range sel {
 		op := s.pfsOps.Ops[pos]
 		c, err := s.client(op.Proc)
@@ -1274,6 +1373,10 @@ func intsKey(sel []int) string {
 // a run whose faults heal — and a resumed run replaying journaled verdicts —
 // reports stats byte-identical to an uninterrupted unfaulted run.
 func (s *session) runOptimized(states []CrashState, skip func(CrashState) bool, handle func(CrashState)) {
+	if s.incremental() {
+		s.visitOrdered(states, skip, handle)
+		return
+	}
 	if len(states) == 0 {
 		return
 	}
@@ -1427,11 +1530,17 @@ func (s *session) syncServer(cs CrashState, p string, ops []int) (err error) {
 	return nil
 }
 
-// scratchVerdict snapshots the applied state, judges it, and restores the
-// applied state afterwards — including when the verdict panics — so the
-// incremental walk's physical tracking stays valid.
+// scratchVerdict judges the applied state without losing the walk's
+// physical tracking — including when the verdict panics. The incremental
+// engine needs no snapshot here: the only cluster mutation the verdict can
+// make is recovery, and recoveredOutcome marks the mutated servers dirty so
+// the next bring restores them from prefix roots. The legacy optimized
+// engine snapshots and restores the applied state around the verdict.
 func (s *session) scratchVerdict(cs CrashState) (res checkResult, err error) {
-	applied := s.fs.Snapshot()
+	var applied *pfs.State
+	if !s.incremental() {
+		applied = s.fs.Snapshot()
+	}
 	defer func() {
 		if pv := recover(); pv != nil {
 			res = checkResult{}
@@ -1441,9 +1550,37 @@ func (s *session) scratchVerdict(cs CrashState) (res checkResult, err error) {
 				err = fmt.Errorf("panic during verdict: %v", pv)
 			}
 		}
-		s.fs.Restore(applied)
+		if applied != nil {
+			s.fs.Restore(applied)
+		}
 	}()
 	return s.verdict(cs)
+}
+
+// visitOrdered is the incremental engine's ordered walk, shared by the
+// serial optimized mode and the optimized parallel merge: states are visited
+// along the greedy TSP tour (recording order under DisableTSP) and every one
+// goes through the uniform check path. No per-loop accounting or snapshot
+// juggling remains here — the reconstructor carries both the physical delta
+// reconstruction and the arithmetic charging, and classifier probes inside
+// handle reconstruct through the same path, keeping the physical tracking
+// truthful without save/restore wrappers.
+func (s *session) visitOrdered(states []CrashState, skip func(CrashState) bool, handle func(CrashState)) {
+	if len(states) == 0 {
+		return
+	}
+	procs, serverOps := s.emu.serverProcs()
+	sigs := stateSigs(states, procs, serverOps)
+	order := exploreOrder(len(states), len(procs), sigs, s.opts.DisableTSP)
+	for _, idx := range order {
+		if s.ctx.Err() != nil {
+			return
+		}
+		cs := states[idx]
+		if !skip(cs) {
+			handle(cs)
+		}
+	}
 }
 
 func max(a, b int) int {

@@ -1,0 +1,271 @@
+package paracrash_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"paracrash/internal/causality"
+	"paracrash/internal/exps"
+	"paracrash/internal/faultinject"
+	"paracrash/internal/paracrash"
+	"paracrash/internal/trace"
+	"paracrash/internal/workloads"
+)
+
+// incrementalPrograms is the differential suite's workload matrix: one
+// program per family (CrashMonkey-style random generation, B3-style bounded
+// enumeration), both small enough that every backend explores them in
+// milliseconds yet with enough renames/unlinks to exercise delta replay.
+func incrementalPrograms(t *testing.T) []*workloads.Program {
+	t.Helper()
+	progs := []*workloads.Program{
+		workloads.Generate(workloads.GenConfig{Seed: 11, Ops: 5, Files: 2, Dirs: 1, WithFsync: true}),
+	}
+	n := 0
+	workloads.Enumerate(workloads.EnumConfig{MaxOps: 2, Files: 2, WithFsync: true}, func(p *workloads.Program) bool {
+		// Take a spread of enumerated bodies rather than the first few
+		// (early programs are single-op and reconstruct trivially).
+		if n%7 == 3 {
+			progs = append(progs, p)
+		}
+		n++
+		return len(progs) < 4
+	})
+	if len(progs) < 2 {
+		t.Fatal("workload matrix is degenerate")
+	}
+	return progs
+}
+
+// runEngine runs one (backend, program) cell with the given engine selection
+// and returns the report.
+func runEngine(t *testing.T, backend string, prog *workloads.Program, mode paracrash.Mode, workers int, legacy bool) *paracrash.Report {
+	t.Helper()
+	fs, err := exps.NewFS(backend, exps.ConfigFor(backend), trace.NewRecorder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := paracrash.DefaultOptions()
+	opts.Mode = mode
+	opts.Workers = workers
+	opts.DisableIncremental = legacy
+	rep, err := paracrash.Run(fs, nil, prog, opts)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", backend, prog.Name(), err)
+	}
+	return rep
+}
+
+// TestIncrementalEngineEquivalence is the engine-differential oracle: on
+// every backend and both workload families, the O(delta) incremental engine
+// must reach the exact verdicts of the legacy full-restore engine — same
+// inconsistent states, consequences, legal-state counts, bugs and skip list
+// (the ReportKernel) — while paying no more restores or op replays, and the
+// incremental engine itself must be schedule-independent (serial and
+// parallel runs byte-identical including effort stats).
+func TestIncrementalEngineEquivalence(t *testing.T) {
+	progs := incrementalPrograms(t)
+	for _, backend := range exps.FSNames() {
+		for _, prog := range progs {
+			for _, mode := range []paracrash.Mode{paracrash.ModeBrute, paracrash.ModeOptimized} {
+				t.Run(backend+"/"+prog.Name()+"/"+mode.String(), func(t *testing.T) {
+					legacy := runEngine(t, backend, prog, mode, 1, true)
+					inc := runEngine(t, backend, prog, mode, 1, false)
+					if lk, ik := exps.ReportKernel(legacy), exps.ReportKernel(inc); lk != ik {
+						t.Errorf("verdicts diverge between engines:\n--- legacy ---\n%s--- incremental ---\n%s", lk, ik)
+					}
+					if inc.Stats.ServerRestores > legacy.Stats.ServerRestores {
+						t.Errorf("incremental charged more restores than legacy: %d > %d",
+							inc.Stats.ServerRestores, legacy.Stats.ServerRestores)
+					}
+					if inc.Stats.OpsReplayed > legacy.Stats.OpsReplayed {
+						t.Errorf("incremental charged more op replays than legacy: %d > %d",
+							inc.Stats.OpsReplayed, legacy.Stats.OpsReplayed)
+					}
+
+					par := runEngine(t, backend, prog, mode, 4, false)
+					if sf, pf := exps.ReportFingerprint(inc), exps.ReportFingerprint(par); sf != pf {
+						t.Errorf("incremental serial and parallel runs diverge:\n--- serial ---\n%s--- workers=4 ---\n%s", sf, pf)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestIncrementalReconstructionContent is the state-level differential: on
+// every backend, reconstructing each crash state the incremental way (only
+// the crashed servers restored, each replaying only its own kept ops, in
+// per-server order) must leave the cluster byte-identical — Serialize of
+// every store — to the legacy way (every server restored, kept ops replayed
+// in universe order). This is the physical-commutativity invariant the
+// O(delta) engine rests on, checked directly against the stores rather than
+// through verdicts.
+func TestIncrementalReconstructionContent(t *testing.T) {
+	prog := workloads.Generate(workloads.GenConfig{Seed: 23, Ops: 5, Files: 2, Dirs: 1, WithFsync: true})
+	for _, backend := range exps.FSNames() {
+		t.Run(backend, func(t *testing.T) {
+			fs, err := exps.NewFS(backend, exps.ConfigFor(backend), trace.NewRecorder())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := fs.Recorder()
+			rec.SetEnabled(false)
+			if err := prog.Preamble(fs); err != nil {
+				t.Fatal(err)
+			}
+			initial := fs.Snapshot()
+			rec.Reset()
+			rec.SetEnabled(true)
+			if err := prog.Run(fs); err != nil {
+				t.Fatal(err)
+			}
+			rec.SetEnabled(false)
+
+			g := causality.Build(rec.Ops())
+			emu := paracrash.NewEmulator(g, fs.PersistConfig())
+			serverOps := emu.ServerOps()
+
+			serialize := func() (content, hash string) {
+				st := fs.Snapshot()
+				for _, p := range fs.Procs() {
+					content += "== " + p + " ==\n"
+					if f, ok := st.FS[p]; ok {
+						content += f.Serialize()
+						hash += f.Hash() + "|"
+					}
+					if d, ok := st.Dev[p]; ok {
+						content += d.Serialize()
+						hash += d.Hash() + "|"
+					}
+				}
+				return content, hash
+			}
+
+			checked := 0
+			emu.Generate(paracrash.DefaultOptions().Emulator, func(cs paracrash.CrashState) bool {
+				fs.Restore(initial)
+				for _, i := range emu.Universe {
+					if cs.Keep.Get(i) {
+						_ = fs.ApplyLowermost(g.Ops[i])
+					}
+				}
+				wantContent, wantHash := serialize()
+
+				fs.Restore(initial)
+				for p, ops := range serverOps {
+					fs.RestoreServer(initial, p)
+					for _, i := range ops {
+						if cs.Keep.Get(i) {
+							_ = fs.ApplyLowermost(g.Ops[i])
+						}
+					}
+				}
+				gotContent, gotHash := serialize()
+				if gotContent != wantContent {
+					t.Errorf("state %d: per-server reconstruction diverges\n--- universe order ---\n%s--- per-server ---\n%s",
+						checked, wantContent, gotContent)
+					return false
+				}
+				if gotHash != wantHash {
+					t.Errorf("state %d: content identical but Hash diverges: %q vs %q", checked, wantHash, gotHash)
+					return false
+				}
+				checked++
+				return true
+			})
+			if checked == 0 {
+				t.Fatal("no crash states generated; the differential is vacuous")
+			}
+			t.Logf("%d crash states byte-identical under both reconstructions", checked)
+		})
+	}
+}
+
+// TestIncrementalFaultTransparency: injected faults during incremental
+// reconstruction must stay invisible — the faulted run heals through retries
+// (a fault mid-delta marks the server dirty, so the retry re-restores from a
+// cached prefix) and reproduces the unfaulted report byte-for-byte,
+// including the arithmetic effort charges. lustre exercises the kernel-level
+// shared-disk path whose cross-server WAL recovery is the hardest case.
+func TestIncrementalFaultTransparency(t *testing.T) {
+	prog := workloads.Generate(workloads.GenConfig{Seed: 11, Ops: 5, Files: 2, Dirs: 1, WithFsync: true})
+	for _, backend := range []string{"beegfs", "lustre"} {
+		for _, workers := range []int{1, 4} {
+			t.Run(backend+"/workers="+itoa(workers), func(t *testing.T) {
+				base := runEngine(t, backend, prog, paracrash.ModeOptimized, workers, false)
+
+				fs, err := exps.NewFS(backend, exps.ConfigFor(backend), trace.NewRecorder())
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := paracrash.DefaultOptions()
+				opts.Mode = paracrash.ModeOptimized
+				opts.Workers = workers
+				plan := faultinject.New(faultinject.Config{Seed: 42, Rate: 0.3})
+				opts.Faults = plan
+				faulted, err := paracrash.Run(fs, nil, prog, opts)
+				if err != nil {
+					t.Fatalf("faulted incremental run errored instead of healing: %v", err)
+				}
+				if plan.Injected() == 0 {
+					t.Skip("no faults hit this cell; transparency is vacuous here")
+				}
+				if bf, ff := exps.ReportFingerprint(base), exps.ReportFingerprint(faulted); bf != ff {
+					t.Errorf("faulted incremental report differs from clean baseline:\n--- clean ---\n%s--- faulted ---\n%s", bf, ff)
+				}
+			})
+		}
+	}
+}
+
+// TestIncrementalChaosResume: the incremental engine under kill/resume chaos
+// — random injected faults plus repeated mid-run deadline kills, resuming
+// from the checkpoint journal each round — must converge to the byte-exact
+// report of a clean uninterrupted incremental run. The arithmetic charge
+// simulation makes resumed verdicts charge what a fresh serial walk would,
+// so even ServerRestores/OpsReplayed survive the chaos unchanged.
+func TestIncrementalChaosResume(t *testing.T) {
+	prog := workloads.Generate(workloads.GenConfig{Seed: 11, Ops: 5, Files: 2, Dirs: 1, WithFsync: true})
+	backend := "lustre"
+	base := runEngine(t, backend, prog, paracrash.ModeOptimized, 1, false)
+	baseFP := exps.ReportFingerprint(base)
+
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	deadline := 2 * time.Millisecond
+	kills := 0
+	for attempt := 0; ; attempt++ {
+		if attempt > 60 {
+			t.Fatal("chaos run did not converge in 60 kill/resume rounds")
+		}
+		fs, err := exps.NewFS(backend, exps.ConfigFor(backend), trace.NewRecorder())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := paracrash.DefaultOptions()
+		opts.Mode = paracrash.ModeOptimized
+		opts.Checkpoint = paracrash.OpenCheckpoint(path)
+		opts.Checkpoint.Every = 1
+		opts.Faults = faultinject.New(faultinject.Config{Seed: 7, Rate: 0.25})
+
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		rep, err := paracrash.RunContext(ctx, fs, nil, prog, opts)
+		cancel()
+		if err == nil {
+			if fp := exps.ReportFingerprint(rep); fp != baseFP {
+				t.Errorf("chaos-resumed incremental report differs after %d kills:\n--- clean ---\n%s--- chaos ---\n%s",
+					kills, baseFP, fp)
+			}
+			t.Logf("survived %d mid-run kills; final round resumed %d verdicts", kills, opts.Checkpoint.Resumed())
+			return
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("chaos round %d died with a non-deadline error: %v", attempt, err)
+		}
+		kills++
+		deadline += deadline / 2
+	}
+}

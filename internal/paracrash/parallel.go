@@ -202,6 +202,14 @@ func (s *session) shardSession(fs pfs.FileSystem) *session {
 		resumed: s.resumed,
 	}
 	ws.bindObs(s.obs, "worker/")
+	if s.recon != nil {
+		if inc, ok := fs.(pfs.IncrementalStater); ok {
+			// The clone gets its own reconstructor (private physical tracking
+			// and prefix-root caches over the clone's stores, worker/-prefixed
+			// arithmetic charges) seeded from the same shared initial snapshot.
+			ws.recon = newReconstructor(ws, inc)
+		}
+	}
 	return ws
 }
 
@@ -253,9 +261,12 @@ func (s *session) runParallel(states []CrashState, cloner pfs.Cloner, workers in
 					}
 				}
 			}()
-			if ws.opts.Mode == ModeOptimized {
+			switch {
+			case ws.incremental():
+				ws.exploreShardIncremental(states, ids, bugs, board, pending)
+			case ws.opts.Mode == ModeOptimized:
 				ws.exploreShardOptimized(states, ids, bugs, board, pending)
-			} else {
+			default:
 				ws.exploreShard(states, ids, bugs, board, pending)
 			}
 		}(ws, ids, pending)
@@ -276,7 +287,13 @@ func (s *session) runParallel(states []CrashState, cloner pfs.Cloner, workers in
 		return board.await(id)
 	}
 	stopMerge := s.obs.Phase(obs.PhaseMerge)
-	if s.opts.Mode == ModeOptimized {
+	if s.opts.Mode == ModeOptimized && s.incremental() {
+		// The incremental merge is the serial ordered walk verbatim: check
+		// resolves verdicts through outcomeFor (the board) and the primary's
+		// reconstructor charges the arithmetic walk, so no merge-specific
+		// accounting pass is needed.
+		s.visitOrdered(states, skip, handle)
+	} else if s.opts.Mode == ModeOptimized {
 		s.mergeOptimized(states, board, skip, handle)
 	} else {
 		for _, cs := range states {
@@ -300,6 +317,56 @@ func (ws *session) exploreShard(states []CrashState, ids []int, bugs *BugSet, bo
 		if ws.ctx.Err() != nil {
 			return
 		}
+		cs := states[id]
+		if ws.opts.Mode != ModeBrute && bugs.KnownBad(cs) {
+			board.skip(id)
+			ws.ctrPruned.Inc()
+			pending.Add(-1)
+			continue
+		}
+		board.publish(id, ws.check(cs))
+		if ws.dedupKeys[stateKey(cs)] {
+			ws.ctrDeduped.Inc()
+		} else {
+			ws.ctrChecked.Inc()
+		}
+		pending.Add(-1)
+	}
+}
+
+// exploreShardIncremental judges the worker's states with the O(delta)
+// reconstructor: along a shard-local TSP tour in optimized mode, in index
+// order otherwise. All per-state logic lives in ws.check — the worker's
+// private reconstructor tracks the clone's physical state, caches prefix
+// roots and charges the worker/-prefixed counters arithmetically.
+func (ws *session) exploreShardIncremental(states []CrashState, ids []int, bugs *BugSet, board *resultBoard, pending *obs.Gauge) {
+	if len(ids) == 0 {
+		return
+	}
+	order := make([]int, len(ids))
+	for k := range order {
+		order[k] = k
+	}
+	if ws.opts.Mode == ModeOptimized {
+		shard := make([]CrashState, len(ids))
+		for k, id := range ids {
+			shard[k] = states[id]
+		}
+		procs, serverOps := ws.emu.serverProcs()
+		sigs := stateSigs(shard, procs, serverOps)
+		order = exploreOrder(len(shard), len(procs), sigs, ws.opts.DisableTSP)
+	}
+	// Prime the fresh clone with the full initial snapshot (an O(1) adoption
+	// per server): the reconstructor only ever touches servers with universe
+	// ops, so servers the traced run never wrote would otherwise keep their
+	// empty mkfs state instead of the initial content every crash state
+	// shares.
+	ws.fs.Restore(ws.initial)
+	for _, k := range order {
+		if ws.ctx.Err() != nil {
+			return
+		}
+		id := ids[k]
 		cs := states[id]
 		if ws.opts.Mode != ModeBrute && bugs.KnownBad(cs) {
 			board.skip(id)

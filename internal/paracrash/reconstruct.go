@@ -1,0 +1,387 @@
+// Incremental O(delta) crash-state reconstruction.
+//
+// The legacy engine rebuilt every crash state from scratch: restore every
+// server store from the initial snapshot, then replay every kept lowermost
+// op. With the vfs/blockdev substrates now persistent (O(1) snapshot and
+// restore), reconstruction can move *between* crash states by undoing and
+// applying op deltas instead:
+//
+//   - Every server's reconstruction target is its kept-op subsequence (the
+//     same per-server signature the greedy-TSP ordering minimises distance
+//     over). A server whose signature is unchanged from the previous state
+//     is not touched at all.
+//   - While building a server's kept sequence, the reconstructor captures an
+//     O(1) store snapshot after every applied op — a chain of prefix roots.
+//     The chain is an undo log in snapshot form: "undoing" the ops that the
+//     next crash state drops is restoring the longest prefix root the two
+//     states share, and only the ops past that prefix are replayed. Under
+//     TSP ordering adjacent states share long prefixes, so most transitions
+//     are one O(1) restore plus a handful of op applies.
+//
+// Charging is decoupled from physical work: chargeState runs an arithmetic
+// simulation of the same prefix-cache policy and charges Stats.ServerRestores
+// and Stats.OpsReplayed for exactly the restores and op replays an unfaulted
+// serial walk would perform. Because the simulation is a pure function of
+// the visit sequence, faulted retries, checkpoint resume and parallel merge
+// all report byte-identical effort stats — the same invariant the legacy
+// engine maintained with per-attempt charge rollback, now by construction.
+package paracrash
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"paracrash/internal/faultinject"
+	"paracrash/internal/pfs"
+)
+
+// maxPrefixRoots bounds the per-server prefix-root cache (and, with the
+// same policy, the arithmetic simulation's prefix set). Each entry is an
+// O(1) structurally-shared snapshot, so the bound exists only to keep
+// divergence-path garbage from accumulating on very long runs. When a
+// server's cache would overflow mid-build, it is cleared and the build
+// restarts from the initial snapshot, preserving the invariant that cached
+// prefixes are contiguous from the empty prefix.
+const maxPrefixRoots = 4096
+
+// dirtySig marks a server whose physical content is mid-build (or was
+// abandoned by a faulted build) and must be restored before reuse.
+const dirtySig = "\x00dirty"
+
+// unsetSig marks a server whose physical content has not been brought to
+// any crash state yet.
+const unsetSig = "\x00unset"
+
+// reconstructor moves the live cluster between crash states in O(delta).
+// One reconstructor serves one session (the primary's or a shard worker's
+// clone); it owns the per-server physical signature tracking and the
+// prefix-root caches.
+type reconstructor struct {
+	s   *session
+	inc pfs.IncrementalStater
+
+	procs     []string         // sorted servers with universe ops
+	serverOps map[string][]int // proc -> universe node indices, in order
+
+	initials []pfs.ServerSnap // per-proc initial store snapshot
+
+	// others are the cluster's servers without universe ops: no crash state
+	// ever changes them, but recovery and legal-state replay mutate the
+	// whole cluster in place, so they need restoring (always to the initial
+	// snapshot) when a mutation dirtied them.
+	others      []string
+	otherSnaps  []pfs.ServerSnap
+	othersDirty bool
+
+	// Physical state: what is actually on the cluster.
+	phys  []string                    // per-proc signature currently applied
+	roots []map[string]pfs.ServerSnap // per-proc prefix key -> captured root
+
+	// Arithmetic simulation: what an unfaulted serial walk would have paid.
+	simSig []string          // per-proc simulated signature
+	sim    []map[string]bool // per-proc simulated prefix cache
+
+	// keptMemo caches per-Keep kept sequences and their cumulative prefix
+	// keys (many states share a Keep via distinct fronts, and the classifier
+	// re-probes states repeatedly; building the key strings is the hottest
+	// allocation in the whole walk).
+	keptMemo map[string][]serverKept
+
+	// outcomes caches the recovery outcome per Keep.Key(): recovery and
+	// mount are pure functions of the kept set (the front only selects
+	// legal-state sets), so the digest shadow pipeline and real verdicts of
+	// states sharing a Keep run fsck+mount exactly once between them.
+	outcomes map[string]*recoveredOutcome
+
+	// lastKeep/lastKeepKey memoise the most recent Keep.Key() by slice
+	// identity: one state's digest, reconstruction, charging and verdict all
+	// key off the same (read-only, never mutated in place) Keep bitset, so
+	// the key is encoded once per state instead of once per lookup. Holding
+	// the element pointer keeps the bitset alive, so the address cannot be
+	// reused for different content while cached.
+	lastKeep    *uint64
+	lastKeepKey string
+}
+
+// keepKey returns cs.Keep.Key(), memoising the most recent bitset.
+func (r *reconstructor) keepKey(cs CrashState) string {
+	if len(cs.Keep) == 0 {
+		return cs.Keep.Key()
+	}
+	if &cs.Keep[0] == r.lastKeep {
+		return r.lastKeepKey
+	}
+	r.lastKeep = &cs.Keep[0]
+	r.lastKeepKey = cs.Keep.Key()
+	return r.lastKeepKey
+}
+
+// maxOutcomes bounds the recovered-outcome cache; entries hold mounted
+// trees, so the bound keeps long runs from accumulating whole namespaces.
+const maxOutcomes = 4096
+
+// recoveredOutcome is the deterministic result of running recovery and
+// mount on one kept set. Exactly one of recoverErr/mountErr/tree is set;
+// the tree is read-only once cached (Mount builds fresh buffers and the
+// library recovery tools copy before modifying).
+type recoveredOutcome struct {
+	recoverErr string // genuine fsck failure, the error text
+	mountErr   string // genuine post-fsck mount failure, the error text
+	tree       *pfs.Tree
+	treeStr    string // memoised tree.Serialize()
+}
+
+// serverKept is one server's kept-op subsequence for a Keep, with the
+// cumulative prefix keys ("n0," then "n0,n1," ...). keys[k] identifies the
+// store state after applying kept[0..k]; the final key (or "" when nothing
+// is kept) is the server's reconstruction signature.
+type serverKept struct {
+	kept []int
+	keys []string
+}
+
+// sig returns the server's reconstruction signature.
+func (sk serverKept) sig() string {
+	if len(sk.keys) == 0 {
+		return ""
+	}
+	return sk.keys[len(sk.keys)-1]
+}
+
+// newReconstructor builds the incremental reconstruction state for s, or
+// returns nil when the initial snapshot lacks a store for some server (an
+// external FileSystem keeping state outside vfs/blockdev stores — the
+// caller then falls back to the legacy full-restore engine).
+func newReconstructor(s *session, inc pfs.IncrementalStater) *reconstructor {
+	procs, serverOps := s.emu.serverProcs()
+	r := &reconstructor{
+		s: s, inc: inc, procs: procs, serverOps: serverOps,
+		initials: make([]pfs.ServerSnap, len(procs)),
+		phys:     make([]string, len(procs)),
+		roots:    make([]map[string]pfs.ServerSnap, len(procs)),
+		simSig:   make([]string, len(procs)),
+		sim:      make([]map[string]bool, len(procs)),
+		keptMemo: map[string][]serverKept{},
+	}
+	for pi, p := range procs {
+		snap, ok := s.initial.ServerSnap(p)
+		if !ok {
+			return nil
+		}
+		r.initials[pi] = snap
+		r.phys[pi] = unsetSig
+		r.roots[pi] = map[string]pfs.ServerSnap{}
+		r.simSig[pi] = unsetSig
+		r.sim[pi] = map[string]bool{}
+	}
+	inProcs := map[string]bool{}
+	for _, p := range procs {
+		inProcs[p] = true
+	}
+	for _, p := range s.fs.Procs() {
+		if inProcs[p] {
+			continue
+		}
+		snap, ok := s.initial.ServerSnap(p)
+		if !ok {
+			return nil
+		}
+		r.others = append(r.others, p)
+		r.otherSnaps = append(r.otherSnaps, snap)
+	}
+	r.outcomes = map[string]*recoveredOutcome{}
+	return r
+}
+
+// markAllDirty records that something mutated the whole cluster in place
+// (recovery, legal-state replay): every server must be restored before the
+// next crash state is trusted. Each repair is one O(1) restore — from a
+// cached prefix root for op servers, from the initial snapshot for the
+// rest — so marking is always sound and never more than O(servers) work.
+func (r *reconstructor) markAllDirty() {
+	for pi := range r.phys {
+		r.phys[pi] = dirtySig
+	}
+	r.othersDirty = true
+}
+
+// recoveredOutcome runs recovery and mount on the live cluster — which the
+// caller must already have brought to cs — memoising the result per kept
+// set. Injected faults surface as errors (nothing is cached); genuine
+// recovery or mount failures are themselves deterministic outcomes and are
+// cached like successful mounts.
+func (r *reconstructor) recoveredOutcome(cs CrashState) (*recoveredOutcome, error) {
+	kk := r.keepKey(cs)
+	if o, ok := r.outcomes[kk]; ok {
+		return o, nil
+	}
+	// Recovery mutates the server stores in place. Marking every server
+	// dirty up front (rather than snapshotting and restoring the whole
+	// cluster around the mutation) lets the next bring repair exactly the
+	// servers the next state needs, each with one O(1) prefix-root restore —
+	// and holds even when a fault or panic aborts recovery mid-way.
+	r.markAllDirty()
+	o := &recoveredOutcome{}
+	if rerr := r.s.fs.Recover(); rerr != nil {
+		if faultinject.Is(rerr) {
+			return nil, rerr
+		}
+		o.recoverErr = rerr.Error()
+	} else if tree, merr := r.s.fs.Mount(); merr != nil {
+		if faultinject.Is(merr) {
+			return nil, merr
+		}
+		o.mountErr = merr.Error()
+	} else {
+		o.tree = tree
+		o.treeStr = tree.Serialize()
+	}
+	if len(r.outcomes) >= maxOutcomes {
+		r.outcomes = map[string]*recoveredOutcome{}
+	}
+	r.outcomes[kk] = o
+	return o, nil
+}
+
+// keptOf returns the per-server kept sequences of cs with their cumulative
+// prefix keys, memoised per kept set: keptOf(cs)[pi].sig() is the final
+// prefix key of server pi's kept sequence, "" when the server keeps
+// nothing. The cached slices are read-only.
+func (r *reconstructor) keptOf(cs CrashState) []serverKept {
+	kk := r.keepKey(cs)
+	if ks, ok := r.keptMemo[kk]; ok {
+		return ks
+	}
+	ks := make([]serverKept, len(r.procs))
+	for pi, p := range r.procs {
+		var b strings.Builder
+		sk := &ks[pi]
+		for _, n := range r.serverOps[p] {
+			if !cs.Keep.Get(n) {
+				continue
+			}
+			sk.kept = append(sk.kept, n)
+			b.WriteString(strconv.Itoa(n))
+			b.WriteByte(',')
+			sk.keys = append(sk.keys, b.String())
+		}
+	}
+	if len(r.keptMemo) >= 1<<15 {
+		r.keptMemo = map[string][]serverKept{}
+	}
+	r.keptMemo[kk] = ks
+	return ks
+}
+
+// chargeState charges the arithmetic O(delta) cost of visiting cs: one
+// restore per server whose signature changes, plus the kept ops past the
+// longest simulated cached prefix. It must be called exactly once per
+// charged visit (fresh verdict, resumed verdict, board verdict), never for
+// cache hits or class attributions — the rule every engine shares.
+func (r *reconstructor) chargeState(cs CrashState) {
+	ks := r.keptOf(cs)
+	for pi := range r.procs {
+		if r.simSig[pi] == ks[pi].sig() {
+			continue
+		}
+		kept, keys := ks[pi].kept, ks[pi].keys
+		last := 0
+		for k := 1; k <= len(kept); k++ {
+			if !r.sim[pi][keys[k-1]] {
+				break
+			}
+			last = k
+		}
+		if len(r.sim[pi])+(len(kept)-last) > maxPrefixRoots {
+			r.sim[pi] = map[string]bool{}
+			last = 0
+		}
+		r.s.chargeRestores(1)
+		r.s.chargeReplayed(len(kept) - last)
+		for k := last; k < len(kept); k++ {
+			r.sim[pi][keys[k]] = true
+		}
+		r.simSig[pi] = ks[pi].sig()
+	}
+}
+
+// bring physically reconstructs cs on the live cluster, touching only
+// servers whose signature differs from what is already applied. Nothing is
+// charged here (chargeState carries the accounting); injected faults abort
+// with the touched server marked dirty, so a retry re-restores it from a
+// cached prefix instead of trusting partial state.
+func (r *reconstructor) bring(cs CrashState) error {
+	ks := r.keptOf(cs)
+	for pi := range r.procs {
+		want := ks[pi].sig()
+		if r.phys[pi] == want {
+			continue
+		}
+		if err := r.bringServer(ks[pi], pi, want); err != nil {
+			return err
+		}
+	}
+	if r.othersDirty {
+		for i, p := range r.others {
+			if !r.inc.RestoreServerSnap(p, r.otherSnaps[i]) {
+				return fmt.Errorf("paracrash: incremental restore of %s failed", p)
+			}
+		}
+		r.othersDirty = false
+	}
+	return nil
+}
+
+// bringServer rebuilds one server: restore the longest cached prefix root
+// (the initial snapshot when none is cached) and apply the remaining kept
+// ops, capturing a prefix root after each one. Panics from backend apply
+// paths are quarantined into errors, leaving the server marked dirty.
+func (r *reconstructor) bringServer(sk serverKept, pi int, want string) (err error) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			if fe, ok := faultinject.FromPanic(pv); ok {
+				err = fe
+			} else {
+				err = fmt.Errorf("panic applying ops on %s: %v", r.procs[pi], pv)
+			}
+		}
+	}()
+	r.phys[pi] = dirtySig
+	p := r.procs[pi]
+	kept, keys := sk.kept, sk.keys
+	base := r.initials[pi]
+	last := 0
+	for k := 1; k <= len(kept); k++ {
+		snap, ok := r.roots[pi][keys[k-1]]
+		if !ok {
+			break
+		}
+		last, base = k, snap
+	}
+	if len(r.roots[pi])+(len(kept)-last) > maxPrefixRoots {
+		// Clearing mid-chain would leave cached suffixes unreachable (the
+		// prefix walk above stops at the first gap), so restart from the
+		// initial snapshot and rebuild a contiguous chain.
+		r.roots[pi] = map[string]pfs.ServerSnap{}
+		base, last = r.initials[pi], 0
+	}
+	if !r.inc.RestoreServerSnap(p, base) {
+		return fmt.Errorf("paracrash: incremental restore of %s failed", p)
+	}
+	for k := last; k < len(kept); k++ {
+		if aerr := r.s.fs.ApplyLowermost(r.s.g.Ops[kept[k]]); aerr != nil && faultinject.Is(aerr) {
+			return aerr
+		}
+		// Genuine apply errors mean the op's effect is lost (crash
+		// semantics); the prefix root still captures the deterministic
+		// "state after attempting ops 0..k".
+		if _, ok := r.roots[pi][keys[k]]; !ok {
+			if snap, ok := r.inc.CaptureServer(p); ok {
+				r.roots[pi][keys[k]] = snap
+			}
+		}
+	}
+	r.phys[pi] = want
+	return nil
+}

@@ -1,0 +1,258 @@
+// Package persist provides immutable, structurally-shared hash maps
+// (hash-array-mapped tries with path copying). A Map value is a snapshot:
+// Set and Delete return a new Map sharing all unchanged subtrees with the
+// receiver, so taking a snapshot of a store built on Map is a pointer copy
+// and mutating either side copies only the O(log n) path to the changed
+// leaf. This is the substrate that makes vfs.FS.Snapshot/Restore and
+// blockdev.Dev.Snapshot/Restore O(1): the explorer reconstructs thousands
+// of crash states per run and the old deep-copy loops dominated wall time.
+//
+// Maps are safe for concurrent readers. Writers produce new values and
+// never mutate shared nodes, so publishing a Map (e.g. inside a snapshot)
+// freezes it for every holder.
+package persist
+
+import "math/bits"
+
+const (
+	chunkBits = 5                  // hash bits consumed per trie level
+	fanout    = 1 << chunkBits     // children per branch node
+	chunkMask = uint64(fanout - 1) // mask for one level's chunk
+)
+
+// entry is one key/value pair stored in a leaf.
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// node is either a branch (children indexed by a bitmap over the next hash
+// chunk) or a leaf (all entries share the full 64-bit hash; more than one
+// entry means a genuine hash collision, resolved by linear scan).
+type node[K comparable, V any] struct {
+	bitmap   uint32
+	children []*node[K, V]
+	hash     uint64
+	entries  []entry[K, V]
+}
+
+func (n *node[K, V]) leaf() bool { return len(n.entries) > 0 }
+
+// slot returns the compact child index for hash chunk c: the number of
+// one-bits below position c in the bitmap.
+func slot(bitmap uint32, c uint64) int {
+	return bits.OnesCount32(bitmap & (uint32(1)<<c - 1))
+}
+
+// Map is an immutable hash map. The zero value is NOT ready to use —
+// construct with NewMap to bind the hash function. Set/Delete return the
+// updated map; the receiver is never modified.
+type Map[K comparable, V any] struct {
+	root *node[K, V]
+	size int
+	hash func(K) uint64
+}
+
+// NewMap returns an empty map using h to hash keys. h must be pure: equal
+// keys must hash equally for the life of the map.
+func NewMap[K comparable, V any](h func(K) uint64) Map[K, V] {
+	return Map[K, V]{hash: h}
+}
+
+// Len returns the number of entries.
+func (m Map[K, V]) Len() int { return m.size }
+
+// Get returns the value stored under key, if any.
+func (m Map[K, V]) Get(key K) (V, bool) {
+	var zero V
+	n := m.root
+	if n == nil {
+		return zero, false
+	}
+	h := m.hash(key)
+	shift := uint(0)
+	for !n.leaf() {
+		c := (h >> shift) & chunkMask
+		if n.bitmap&(uint32(1)<<c) == 0 {
+			return zero, false
+		}
+		n = n.children[slot(n.bitmap, c)]
+		shift += chunkBits
+	}
+	if n.hash != h {
+		return zero, false
+	}
+	for _, e := range n.entries {
+		if e.key == key {
+			return e.val, true
+		}
+	}
+	return zero, false
+}
+
+// Set returns a map with key bound to val. The receiver is unchanged.
+func (m Map[K, V]) Set(key K, val V) Map[K, V] {
+	root, added := setNode(m.root, m.hash(key), 0, key, val)
+	size := m.size
+	if added {
+		size++
+	}
+	return Map[K, V]{root: root, size: size, hash: m.hash}
+}
+
+func setNode[K comparable, V any](n *node[K, V], h uint64, shift uint, key K, val V) (*node[K, V], bool) {
+	if n == nil {
+		return &node[K, V]{hash: h, entries: []entry[K, V]{{key, val}}}, true
+	}
+	if n.leaf() {
+		if n.hash == h {
+			entries := make([]entry[K, V], len(n.entries), len(n.entries)+1)
+			copy(entries, n.entries)
+			for i := range entries {
+				if entries[i].key == key {
+					entries[i].val = val
+					return &node[K, V]{hash: h, entries: entries}, false
+				}
+			}
+			entries = append(entries, entry[K, V]{key, val})
+			return &node[K, V]{hash: h, entries: entries}, true
+		}
+		// Hashes diverge: push the existing leaf one level down and retry.
+		branch := &node[K, V]{}
+		c := (n.hash >> shift) & chunkMask
+		branch.bitmap = uint32(1) << c
+		branch.children = []*node[K, V]{n}
+		return setNode(branch, h, shift, key, val)
+	}
+	c := (h >> shift) & chunkMask
+	bit := uint32(1) << c
+	i := slot(n.bitmap, c)
+	if n.bitmap&bit != 0 {
+		child, added := setNode(n.children[i], h, shift+chunkBits, key, val)
+		children := make([]*node[K, V], len(n.children))
+		copy(children, n.children)
+		children[i] = child
+		return &node[K, V]{bitmap: n.bitmap, children: children}, added
+	}
+	children := make([]*node[K, V], len(n.children)+1)
+	copy(children, n.children[:i])
+	children[i] = &node[K, V]{hash: h, entries: []entry[K, V]{{key, val}}}
+	copy(children[i+1:], n.children[i:])
+	return &node[K, V]{bitmap: n.bitmap | bit, children: children}, true
+}
+
+// Delete returns a map without key. The receiver is unchanged.
+func (m Map[K, V]) Delete(key K) Map[K, V] {
+	root, removed := deleteNode(m.root, m.hash(key), 0, key)
+	if !removed {
+		return m
+	}
+	return Map[K, V]{root: root, size: m.size - 1, hash: m.hash}
+}
+
+func deleteNode[K comparable, V any](n *node[K, V], h uint64, shift uint, key K) (*node[K, V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	if n.leaf() {
+		if n.hash != h {
+			return n, false
+		}
+		for i := range n.entries {
+			if n.entries[i].key == key {
+				if len(n.entries) == 1 {
+					return nil, true
+				}
+				entries := make([]entry[K, V], 0, len(n.entries)-1)
+				entries = append(entries, n.entries[:i]...)
+				entries = append(entries, n.entries[i+1:]...)
+				return &node[K, V]{hash: h, entries: entries}, true
+			}
+		}
+		return n, false
+	}
+	c := (h >> shift) & chunkMask
+	bit := uint32(1) << c
+	if n.bitmap&bit == 0 {
+		return n, false
+	}
+	i := slot(n.bitmap, c)
+	child, removed := deleteNode(n.children[i], h, shift+chunkBits, key)
+	if !removed {
+		return n, false
+	}
+	if child == nil {
+		if len(n.children) == 1 {
+			return nil, true
+		}
+		children := make([]*node[K, V], 0, len(n.children)-1)
+		children = append(children, n.children[:i]...)
+		children = append(children, n.children[i+1:]...)
+		return &node[K, V]{bitmap: n.bitmap &^ bit, children: children}, true
+	}
+	// Collapse single-leaf branches so trie depth tracks population, not
+	// insertion history.
+	if child.leaf() && len(n.children) == 1 {
+		return child, true
+	}
+	children := make([]*node[K, V], len(n.children))
+	copy(children, n.children)
+	children[i] = child
+	return &node[K, V]{bitmap: n.bitmap, children: children}, true
+}
+
+// Range calls f for every entry until f returns false. Order is the trie
+// order of the hash function — deterministic for a given map content, but
+// not sorted; callers wanting sorted output must collect and sort.
+func (m Map[K, V]) Range(f func(K, V) bool) {
+	rangeNode(m.root, f)
+}
+
+func rangeNode[K comparable, V any](n *node[K, V], f func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.leaf() {
+		for _, e := range n.entries {
+			if !f(e.key, e.val) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !rangeNode(c, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// StringHash is FNV-1a over the bytes of s, suitable for NewMap[string].
+func StringHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// IntHash mixes an int with the splitmix64 finalizer, suitable for
+// NewMap[int]. Sequential inode numbers and LBAs otherwise cluster in the
+// low trie levels.
+func IntHash(i int) uint64 { return mix64(uint64(i)) }
+
+// Int64Hash mixes an int64 with the splitmix64 finalizer.
+func Int64Hash(i int64) uint64 { return mix64(uint64(i)) }
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

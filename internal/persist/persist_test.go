@@ -1,0 +1,143 @@
+package persist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestMapMatchesBuiltin drives random Set/Delete/Get sequences against a
+// builtin map oracle.
+func TestMapMatchesBuiltin(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMap[string, int](StringHash)
+	oracle := map[string]int{}
+	keys := make([]string, 300)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%03d", i)
+	}
+	for step := 0; step < 20000; step++ {
+		k := keys[rng.Intn(len(keys))]
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Intn(1000)
+			m = m.Set(k, v)
+			oracle[k] = v
+		case 1:
+			m = m.Delete(k)
+			delete(oracle, k)
+		case 2:
+			got, ok := m.Get(k)
+			want, wok := oracle[k]
+			if ok != wok || got != want {
+				t.Fatalf("step %d Get(%q) = %d,%v want %d,%v", step, k, got, ok, want, wok)
+			}
+		}
+		if m.Len() != len(oracle) {
+			t.Fatalf("step %d Len = %d want %d", step, m.Len(), len(oracle))
+		}
+	}
+	// Final full sweep, both directions.
+	for k, want := range oracle {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("final Get(%q) = %d,%v want %d", k, got, ok, want)
+		}
+	}
+	n := 0
+	m.Range(func(k string, v int) bool {
+		n++
+		if want, ok := oracle[k]; !ok || v != want {
+			t.Fatalf("Range saw %q=%d not in oracle", k, v)
+		}
+		return true
+	})
+	if n != len(oracle) {
+		t.Fatalf("Range visited %d entries, want %d", n, len(oracle))
+	}
+}
+
+// TestStructuralSharing verifies that a captured Map value is immune to
+// later mutations of its successor — the property Snapshot/Restore rely on.
+func TestStructuralSharing(t *testing.T) {
+	m := NewMap[int, string](IntHash)
+	for i := 0; i < 100; i++ {
+		m = m.Set(i, fmt.Sprintf("v%d", i))
+	}
+	snap := m
+	m = m.Set(42, "mutated")
+	m = m.Delete(7)
+	for i := 0; i < 100; i++ {
+		want := fmt.Sprintf("v%d", i)
+		if got, ok := snap.Get(i); !ok || got != want {
+			t.Fatalf("snapshot Get(%d) = %q,%v want %q", i, got, ok, want)
+		}
+	}
+	if got, _ := m.Get(42); got != "mutated" {
+		t.Fatalf("successor Get(42) = %q want mutated", got)
+	}
+	if _, ok := m.Get(7); ok {
+		t.Fatal("successor still has deleted key 7")
+	}
+}
+
+// collideHash forces all keys into 4 hash buckets so collision leaves and
+// deep-branch splits are exercised.
+func collideHash(s string) uint64 { return StringHash(s) & 3 }
+
+func TestHashCollisions(t *testing.T) {
+	m := NewMap[string, int](collideHash)
+	oracle := map[string]int{}
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("c%d", i)
+		m = m.Set(k, i)
+		oracle[k] = i
+	}
+	for k, want := range oracle {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("Get(%q) = %d,%v want %d", k, got, ok, want)
+		}
+	}
+	for i := 0; i < 64; i += 2 {
+		k := fmt.Sprintf("c%d", i)
+		m = m.Delete(k)
+		delete(oracle, k)
+	}
+	if m.Len() != len(oracle) {
+		t.Fatalf("Len = %d want %d", m.Len(), len(oracle))
+	}
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("c%d", i)
+		got, ok := m.Get(k)
+		want, wok := oracle[k]
+		if ok != wok || got != want {
+			t.Fatalf("Get(%q) = %d,%v want %d,%v", k, got, ok, want, wok)
+		}
+	}
+}
+
+func TestDeleteMissingReturnsSame(t *testing.T) {
+	m := NewMap[string, int](StringHash)
+	m = m.Set("a", 1)
+	n := m.Delete("nope")
+	if n.Len() != 1 {
+		t.Fatalf("Len changed on missing delete: %d", n.Len())
+	}
+	if v, ok := n.Get("a"); !ok || v != 1 {
+		t.Fatal("existing entry lost on missing delete")
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	m := NewMap[int, int](IntHash)
+	for i := 0; i < 50; i++ {
+		m = m.Set(i, i)
+	}
+	n := 0
+	m.Range(func(int, int) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("Range visited %d after early stop, want 10", n)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"paracrash/internal/blockdev"
@@ -131,8 +132,8 @@ type FileSystem interface {
 // disabled (clones are never traced).
 //
 // A *State produced by Snapshot is immutable once taken and safe to share
-// across goroutines: Restore/RestoreServer deep-copy out of it and nothing
-// writes into it.
+// across goroutines: Restore/RestoreServer adopt its structurally-shared
+// store snapshots copy-on-write and nothing writes into it.
 type Cloner interface {
 	CloneDetached() FileSystem
 }
@@ -181,10 +182,18 @@ func (t *Tree) Serialize() string {
 	for _, p := range t.Paths() {
 		e := t.Entries[p]
 		if e.Dir {
-			fmt.Fprintf(&b, "d %s\n", p)
+			b.WriteString("d ")
+			b.WriteString(p)
+			b.WriteByte('\n')
 		} else {
 			sum := sha256.Sum256(e.Data)
-			fmt.Fprintf(&b, "f %s %d %s\n", p, len(e.Data), hex.EncodeToString(sum[:8]))
+			b.WriteString("f ")
+			b.WriteString(p)
+			b.WriteByte(' ')
+			b.WriteString(strconv.Itoa(len(e.Data)))
+			b.WriteByte(' ')
+			b.WriteString(hex.EncodeToString(sum[:8]))
+			b.WriteByte('\n')
 		}
 	}
 	return b.String()
@@ -221,9 +230,10 @@ func (t *Tree) Diff(o *Tree) string {
 }
 
 // State is a snapshot of every server store in a cluster. A State is
-// immutable once taken: Restore/RestoreServer copy out of it, so one State
-// (e.g. the initial snapshot) can back concurrent reconstructions in many
-// cluster clones at once.
+// immutable once taken: Restore/RestoreServer adopt its stores
+// copy-on-write and never write into it, so one State (e.g. the initial
+// snapshot) can back concurrent reconstructions in many cluster clones at
+// once, each restore costing O(1) per server.
 type State struct {
 	FS  map[string]*vfs.FS
 	Dev map[string]*blockdev.Dev

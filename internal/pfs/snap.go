@@ -1,0 +1,77 @@
+package pfs
+
+import (
+	"paracrash/internal/blockdev"
+	"paracrash/internal/vfs"
+)
+
+// ServerSnap is an O(1) immutable capture of a single server store — the
+// unit of the explorer's incremental crash-state reconstruction. Because
+// vfs.FS and blockdev.Dev snapshots are structurally shared tries, holding
+// thousands of ServerSnaps (one per reconstruction prefix) costs a few
+// pointers each plus the paths their histories diverged on.
+type ServerSnap struct {
+	fs  *vfs.FS
+	dev *blockdev.Dev
+}
+
+// Valid reports whether the snap holds a store.
+func (s ServerSnap) Valid() bool { return s.fs != nil || s.dev != nil }
+
+// IncrementalStater is an optional capability of FileSystems whose server
+// stores support O(1) per-server capture and restore. Every Cluster-based
+// FileSystem implements it for free; external implementations that keep
+// persistent state outside vfs/blockdev stores simply lack it, and the
+// explorer falls back to whole-cluster Restore + full replay for them.
+type IncrementalStater interface {
+	// CaptureServer snapshots proc's store in O(1). ok is false when proc
+	// names no server.
+	CaptureServer(proc string) (snap ServerSnap, ok bool)
+	// RestoreServerSnap resets proc's store to a previously captured snap
+	// in O(1). ok is false when proc names no server.
+	RestoreServerSnap(proc string, snap ServerSnap) (ok bool)
+}
+
+// CaptureServer snapshots a single server store in O(1).
+func (c *Cluster) CaptureServer(proc string) (ServerSnap, bool) {
+	if s := c.FSServer(proc); s != nil {
+		return ServerSnap{fs: s.FS.Snapshot()}, true
+	}
+	if s := c.Block(proc); s != nil {
+		return ServerSnap{dev: s.Dev.Snapshot()}, true
+	}
+	return ServerSnap{}, false
+}
+
+// RestoreServerSnap adopts a captured store snapshot in O(1). The snap is
+// only read, so one snap can seed any number of restores.
+func (c *Cluster) RestoreServerSnap(proc string, snap ServerSnap) bool {
+	if s := c.FSServer(proc); s != nil {
+		if snap.fs == nil {
+			return false
+		}
+		s.FS.Restore(snap.fs)
+		return true
+	}
+	if s := c.Block(proc); s != nil {
+		if snap.dev == nil {
+			return false
+		}
+		s.Dev.Restore(snap.dev)
+		return true
+	}
+	return false
+}
+
+// ServerSnap extracts proc's store from a whole-cluster snapshot as an
+// O(1) per-server snap (the reconstruction base for servers with no kept
+// ops to apply). ok is false when the state holds no store for proc.
+func (st *State) ServerSnap(proc string) (ServerSnap, bool) {
+	if fs, ok := st.FS[proc]; ok {
+		return ServerSnap{fs: fs}, true
+	}
+	if dev, ok := st.Dev[proc]; ok {
+		return ServerSnap{dev: dev}, true
+	}
+	return ServerSnap{}, false
+}

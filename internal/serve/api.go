@@ -79,6 +79,10 @@ type JobRequest struct {
 	// the engine default: on). Set false for a brute-force-equivalent run
 	// that reconstructs every crash state.
 	Representative *bool `json:"representative,omitempty"`
+	// Incremental toggles O(delta) incremental crash-state reconstruction
+	// (nil keeps the engine default: on). Set false to rebuild every crash
+	// state with a full restore and replay. Explore jobs only.
+	Incremental *bool `json:"incremental,omitempty"`
 	// Clients/Rows/Cols/ResizeRows/ResizeCols are the H5 program knobs;
 	// zero values keep workloads.DefaultH5Params.
 	Clients    int `json:"clients,omitempty"`
@@ -202,6 +206,9 @@ func (r *JobRequest) options(maxWorkers int) core.Options {
 	}
 	if r.Representative != nil {
 		opts.DisableRepresentative = !*r.Representative
+	}
+	if r.Incremental != nil {
+		opts.DisableIncremental = !*r.Incremental
 	}
 	return opts
 }

@@ -1,0 +1,145 @@
+// Command benchdiff compares a freshly written BENCH_*.json against the
+// latest previously committed one and warns when any cell's states_per_sec
+// throughput regressed by more than the threshold. It is the regression
+// tripwire behind `make bench`: the trajectory files already make effort
+// regressions visible as counter diffs, and this makes throughput
+// regressions impossible to commit silently.
+//
+// Usage:
+//
+//	go run ./internal/tools/benchdiff [-threshold 0.20] [-dir .] NEW_BENCH.json
+//
+// Cells are matched by (program, fs, mode, workers, representative,
+// incremental); cells present on only one side are reported but never
+// fatal (the trajectory legitimately grows cells). Warnings go to stdout
+// prefixed "WARN:"; the exit status is always 0 — wall-clock throughput is
+// machine-dependent, so the gate informs, it does not block.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// benchRecord mirrors the exps.BenchRecord fields benchdiff matches and
+// compares on; decoding only these keeps the tool independent of the full
+// record shape.
+type benchRecord struct {
+	Program        string  `json:"program"`
+	FS             string  `json:"fs"`
+	Mode           string  `json:"mode"`
+	Workers        int     `json:"workers"`
+	Representative bool    `json:"representative"`
+	Incremental    bool    `json:"incremental"`
+	StatesPerSec   float64 `json:"states_per_sec"`
+	Err            string  `json:"error"`
+}
+
+// benchSummary mirrors the BENCH_*.json document envelope.
+type benchSummary struct {
+	Records []benchRecord `json:"records"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20, "relative states_per_sec drop that triggers a warning")
+	dir := flag.String("dir", ".", "directory holding the committed BENCH_*.json trajectory")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.20] [-dir .] NEW_BENCH.json")
+		os.Exit(2)
+	}
+	newPath := flag.Arg(0)
+
+	prevPath, err := latestOther(*dir, newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	if prevPath == "" {
+		fmt.Printf("benchdiff: no previous BENCH_*.json in %s; nothing to compare\n", *dir)
+		return
+	}
+
+	prev, err := load(prevPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := load(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchdiff: %s vs %s (threshold %.0f%%)\n", filepath.Base(newPath), filepath.Base(prevPath), *threshold*100)
+	warned := 0
+	for key, p := range prev {
+		c, ok := cur[key]
+		if !ok {
+			fmt.Printf("note: cell %s dropped from the trajectory\n", key)
+			continue
+		}
+		if p.Err != "" || c.Err != "" || p.StatesPerSec <= 0 {
+			continue
+		}
+		rel := (c.StatesPerSec - p.StatesPerSec) / p.StatesPerSec
+		if rel < -*threshold {
+			fmt.Printf("WARN: %s states_per_sec %.0f -> %.0f (%.0f%%)\n", key, p.StatesPerSec, c.StatesPerSec, rel*100)
+			warned++
+		}
+	}
+	for key := range cur {
+		if _, ok := prev[key]; !ok {
+			fmt.Printf("note: new cell %s\n", key)
+		}
+	}
+	if warned == 0 {
+		fmt.Println("benchdiff: no cell regressed beyond the threshold")
+	}
+}
+
+// load reads a BENCH_*.json and indexes its records by cell identity.
+func load(path string) (map[string]benchRecord, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sum benchSummary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	out := make(map[string]benchRecord, len(sum.Records))
+	for _, r := range sum.Records {
+		key := fmt.Sprintf("%s/%s/%s/workers=%d/rep=%t/inc=%t", r.Program, r.FS, r.Mode, r.Workers, r.Representative, r.Incremental)
+		out[key] = r
+	}
+	return out, nil
+}
+
+// latestOther returns the lexically greatest BENCH_*.json in dir other than
+// newPath — the timestamped naming scheme makes lexical order chronological.
+func latestOther(dir, newPath string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	abs := func(p string) string {
+		a, err := filepath.Abs(p)
+		if err != nil {
+			return p
+		}
+		return a
+	}
+	sort.Strings(matches)
+	latest := ""
+	for _, m := range matches {
+		if abs(m) != abs(newPath) {
+			latest = m
+		}
+	}
+	return latest, nil
+}

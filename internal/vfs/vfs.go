@@ -9,9 +9,16 @@
 //
 //   - replayable operations (Op / Apply) so crash states can be
 //     reconstructed by applying op subsets to a snapshot;
-//   - cheap deep snapshots (Snapshot / Restore);
+//   - O(1) snapshots (Snapshot / Restore): the name and inode tables are
+//     persistent, structurally-shared maps (package persist), so a snapshot
+//     is a pointer copy and mutation copies only the changed path —
+//     copy-on-write at inode granularity via an epoch ownership token;
 //   - canonical state serialisation and hashing (Serialize / Hash) so
 //     recovered states can be compared against golden states.
+//
+// Snapshot contract: an *FS returned by Snapshot must never be mutated.
+// Restoring from it, reading it, and sharing it across goroutines are all
+// safe; calling a mutating method on it would silently alias live state.
 //
 // Persistence semantics (which op must persist before which, under data /
 // ordered / writeback journaling) are NOT implemented here; they are a
@@ -25,6 +32,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
+
+	"paracrash/internal/persist"
 )
 
 // JournalMode selects the journaling mode of a local file system, which
@@ -164,12 +174,25 @@ func (o Op) String() string {
 	}
 }
 
+// epochCounter mints globally unique ownership tokens. Every FS value —
+// live or snapshot — carries the epoch current when it last diverged from
+// any other holder of the same trie roots; an inode is exclusively owned
+// (safe to mutate in place) iff its epoch equals the owner's.
+var epochCounter atomic.Uint64
+
+func nextEpoch() uint64 { return epochCounter.Add(1) }
+
 type inode struct {
 	ino   int
 	dir   bool
 	data  []byte
 	xattr map[string][]byte
 	nlink int
+	// epoch is the copy-on-write ownership token: the FS epoch under which
+	// this inode was created or last cloned. After any Snapshot/Restore both
+	// sharers hold fresh epochs, so a shared inode's epoch never matches
+	// either side and the first write clones it.
+	epoch uint64
 }
 
 func (in *inode) clone() *inode {
@@ -186,20 +209,22 @@ func (in *inode) clone() *inode {
 
 // FS is an in-memory file system. The zero value is not usable; call New.
 type FS struct {
-	inodes  map[int]*inode
-	names   map[string]int // canonical path -> ino
+	inodes  persist.Map[int, *inode]
+	names   persist.Map[string, int] // canonical path -> ino
 	nextIno int
+	epoch   uint64
 }
 
 // New returns an empty file system containing only the root directory "/".
 func New() *FS {
 	fs := &FS{
-		inodes: make(map[int]*inode),
-		names:  make(map[string]int),
+		inodes: persist.NewMap[int, *inode](persist.IntHash),
+		names:  persist.NewMap[string, int](persist.StringHash),
+		epoch:  nextEpoch(),
 	}
-	root := &inode{ino: 0, dir: true, nlink: 1}
-	fs.inodes[0] = root
-	fs.names["/"] = 0
+	root := &inode{ino: 0, dir: true, nlink: 1, epoch: fs.epoch}
+	fs.inodes = fs.inodes.Set(0, root)
+	fs.names = fs.names.Set("/", 0)
 	fs.nextIno = 1
 	return fs
 }
@@ -209,6 +234,9 @@ func New() *FS {
 func Clean(p string) string {
 	if p == "" || p == "/" {
 		return "/"
+	}
+	if isClean(p) {
+		return p
 	}
 	parts := strings.Split(p, "/")
 	out := make([]string, 0, len(parts))
@@ -223,6 +251,28 @@ func Clean(p string) string {
 	return "/" + strings.Join(out, "/")
 }
 
+// isClean reports whether p is already in canonical form — absolute, no
+// empty or "." segments, no trailing slash — so Clean can return it without
+// allocating. Nearly every path the servers resolve is already canonical,
+// and lookup cleans on every call, so this fast path is hot.
+func isClean(p string) bool {
+	if p[0] != '/' || p[len(p)-1] == '/' {
+		return false
+	}
+	for i := 0; i < len(p); i++ {
+		if p[i] != '/' {
+			continue
+		}
+		if p[i+1] == '/' {
+			return false
+		}
+		if p[i+1] == '.' && (i+2 == len(p) || p[i+2] == '/') {
+			return false
+		}
+	}
+	return true
+}
+
 func parent(p string) string {
 	p = Clean(p)
 	i := strings.LastIndexByte(p, '/')
@@ -233,17 +283,40 @@ func parent(p string) string {
 }
 
 func (fs *FS) lookup(p string) (*inode, bool) {
-	ino, ok := fs.names[Clean(p)]
+	ino, ok := fs.names.Get(Clean(p))
 	if !ok {
 		return nil, false
 	}
-	in, ok := fs.inodes[ino]
+	in, ok := fs.inodes.Get(ino)
 	return in, ok
+}
+
+// mutable returns the inode at p ready for in-place mutation: if the inode
+// is shared with a snapshot (its epoch predates ours) it is cloned into the
+// current epoch first and the clone installed in the inode table. This is
+// the single copy-on-write gate every mutating method goes through.
+func (fs *FS) mutable(p string) (*inode, bool) {
+	in, ok := fs.lookup(p)
+	if !ok {
+		return nil, false
+	}
+	return fs.own(in), true
+}
+
+// own claims in for the current epoch, cloning if shared.
+func (fs *FS) own(in *inode) *inode {
+	if in.epoch == fs.epoch {
+		return in
+	}
+	c := in.clone()
+	c.epoch = fs.epoch
+	fs.inodes = fs.inodes.Set(c.ino, c)
+	return c
 }
 
 // Exists reports whether path exists (file or directory).
 func (fs *FS) Exists(p string) bool {
-	_, ok := fs.names[Clean(p)]
+	_, ok := fs.names.Get(Clean(p))
 	return ok
 }
 
@@ -276,13 +349,13 @@ func (fs *FS) Create(p string) error {
 		if in.dir {
 			return fmt.Errorf("vfs: creat %q: is a directory", p)
 		}
-		in.data = nil
+		fs.own(in).data = nil
 		return nil
 	}
-	in := &inode{ino: fs.nextIno, nlink: 1, xattr: nil}
+	in := &inode{ino: fs.nextIno, nlink: 1, xattr: nil, epoch: fs.epoch}
 	fs.nextIno++
-	fs.inodes[in.ino] = in
-	fs.names[p] = in.ino
+	fs.inodes = fs.inodes.Set(in.ino, in)
+	fs.names = fs.names.Set(p, in.ino)
 	return nil
 }
 
@@ -295,10 +368,10 @@ func (fs *FS) Mkdir(p string) error {
 	if err := fs.checkParent(p); err != nil {
 		return err
 	}
-	in := &inode{ino: fs.nextIno, dir: true, nlink: 1}
+	in := &inode{ino: fs.nextIno, dir: true, nlink: 1, epoch: fs.epoch}
 	fs.nextIno++
-	fs.inodes[in.ino] = in
-	fs.names[p] = in.ino
+	fs.inodes = fs.inodes.Set(in.ino, in)
+	fs.names = fs.names.Set(p, in.ino)
 	return nil
 }
 
@@ -320,7 +393,7 @@ func (fs *FS) MkdirAll(p string) error {
 // WriteAt writes data at offset off in file p, extending it as needed
 // (zero-filling any gap, like pwrite past EOF).
 func (fs *FS) WriteAt(p string, off int64, data []byte) error {
-	in, ok := fs.lookup(p)
+	in, ok := fs.mutable(p)
 	if !ok {
 		return fmt.Errorf("vfs: pwrite %q: no such file", p)
 	}
@@ -339,7 +412,7 @@ func (fs *FS) WriteAt(p string, off int64, data []byte) error {
 
 // Append appends data to file p.
 func (fs *FS) Append(p string, data []byte) error {
-	in, ok := fs.lookup(p)
+	in, ok := fs.mutable(p)
 	if !ok {
 		return fmt.Errorf("vfs: append %q: no such file", p)
 	}
@@ -352,7 +425,7 @@ func (fs *FS) Append(p string, data []byte) error {
 
 // Truncate sets the size of file p to size (zero-filling when growing).
 func (fs *FS) Truncate(p string, size int64) error {
-	in, ok := fs.lookup(p)
+	in, ok := fs.mutable(p)
 	if !ok {
 		return fmt.Errorf("vfs: truncate %q: no such file", p)
 	}
@@ -422,18 +495,21 @@ func (fs *FS) Rename(from, to string) error {
 		// Move every descendant path.
 		prefix := from + "/"
 		moves := map[string]string{}
-		for name := range fs.names {
+		fs.names.Range(func(name string, _ int) bool {
 			if strings.HasPrefix(name, prefix) {
 				moves[name] = to + "/" + name[len(prefix):]
 			}
-		}
+			return true
+		})
 		for oldName, newName := range moves {
-			fs.names[newName] = fs.names[oldName]
-			delete(fs.names, oldName)
+			ino, _ := fs.names.Get(oldName)
+			fs.names = fs.names.Set(newName, ino)
+			fs.names = fs.names.Delete(oldName)
 		}
 	}
-	fs.names[to] = fs.names[from]
-	delete(fs.names, from)
+	ino, _ := fs.names.Get(from)
+	fs.names = fs.names.Set(to, ino)
+	fs.names = fs.names.Delete(from)
 	return nil
 }
 
@@ -453,8 +529,8 @@ func (fs *FS) Link(oldname, newname string) error {
 	if err := fs.checkParent(newname); err != nil {
 		return err
 	}
-	fs.names[newname] = in.ino
-	in.nlink++
+	fs.names = fs.names.Set(newname, in.ino)
+	fs.own(in).nlink++
 	return nil
 }
 
@@ -462,19 +538,20 @@ func (fs *FS) Link(oldname, newname string) error {
 // inode when unreferenced.
 func (fs *FS) dropName(p string) {
 	p = Clean(p)
-	ino, ok := fs.names[p]
+	ino, ok := fs.names.Get(p)
 	if !ok {
 		return
 	}
-	delete(fs.names, p)
-	in := fs.inodes[ino]
-	if in == nil {
+	fs.names = fs.names.Delete(p)
+	in, ok := fs.inodes.Get(ino)
+	if !ok {
 		return
 	}
-	in.nlink--
-	if in.nlink <= 0 {
-		delete(fs.inodes, ino)
+	if in.nlink <= 1 {
+		fs.inodes = fs.inodes.Delete(ino)
+		return
 	}
+	fs.own(in).nlink--
 }
 
 // Unlink removes the name p (a regular file).
@@ -508,7 +585,7 @@ func (fs *FS) Rmdir(p string) error {
 
 // SetXattr sets extended attribute name=value on p.
 func (fs *FS) SetXattr(p, name string, value []byte) error {
-	in, ok := fs.lookup(p)
+	in, ok := fs.mutable(p)
 	if !ok {
 		return fmt.Errorf("vfs: setxattr %q: no such file", p)
 	}
@@ -525,7 +602,10 @@ func (fs *FS) RemoveXattr(p, name string) error {
 	if !ok {
 		return fmt.Errorf("vfs: removexattr %q: no such file", p)
 	}
-	delete(in.xattr, name)
+	if _, present := in.xattr[name]; !present {
+		return nil
+	}
+	delete(fs.own(in).xattr, name)
 	return nil
 }
 
@@ -564,16 +644,17 @@ func (fs *FS) children(p string) []string {
 		prefix = "/"
 	}
 	var out []string
-	for name := range fs.names {
+	fs.names.Range(func(name string, _ int) bool {
 		if name == "/" || !strings.HasPrefix(name, prefix) {
-			continue
+			return true
 		}
 		rest := name[len(prefix):]
 		if rest == "" || strings.ContainsRune(rest, '/') {
-			continue
+			return true
 		}
 		out = append(out, name)
-	}
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
@@ -592,10 +673,11 @@ func (fs *FS) List(p string) ([]string, error) {
 
 // Walk returns every path in the file system, sorted.
 func (fs *FS) Walk() []string {
-	out := make([]string, 0, len(fs.names))
-	for name := range fs.names {
+	out := make([]string, 0, fs.names.Len())
+	fs.names.Range(func(name string, _ int) bool {
 		out = append(out, name)
-	}
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
@@ -635,39 +717,45 @@ func (fs *FS) Apply(op Op) error {
 	}
 }
 
-// Snapshot returns a deep copy of the file system.
+// Snapshot returns an immutable O(1) snapshot: the persistent name and
+// inode tables are shared by pointer, and both the live FS and the snapshot
+// receive fresh epochs so any inode reachable from both is cloned before
+// its first post-snapshot mutation. The returned FS must not be mutated
+// (see the package comment's snapshot contract).
 func (fs *FS) Snapshot() *FS {
-	c := &FS{
-		inodes:  make(map[int]*inode, len(fs.inodes)),
-		names:   make(map[string]int, len(fs.names)),
-		nextIno: fs.nextIno,
-	}
-	for ino, in := range fs.inodes {
-		c.inodes[ino] = in.clone()
-	}
-	for name, ino := range fs.names {
-		c.names[name] = ino
-	}
-	return c
+	snap := &FS{inodes: fs.inodes, names: fs.names, nextIno: fs.nextIno, epoch: nextEpoch()}
+	fs.epoch = nextEpoch()
+	return snap
 }
 
-// Restore replaces the contents of fs with a deep copy of snap.
+// Restore adopts snap's state in O(1): the trie roots are shared and fs
+// gets a fresh epoch, so subsequent writes copy rather than alias. snap is
+// only read and may be restored into any number of file systems, including
+// concurrently.
 func (fs *FS) Restore(snap *FS) {
-	c := snap.Snapshot()
-	fs.inodes = c.inodes
-	fs.names = c.names
-	fs.nextIno = c.nextIno
+	fs.inodes = snap.inodes
+	fs.names = snap.names
+	fs.nextIno = snap.nextIno
+	fs.epoch = nextEpoch()
 }
 
 // Serialize renders the complete logical state in a canonical, hashable
 // text form: one line per path with type, content hash (files), and sorted
 // xattrs. Hard links serialise as their target content, so two states are
 // equal iff every name resolves to identical bytes and attributes.
+//
+// A name whose inode is missing from the inode table (a corrupted state,
+// impossible through the public API) serialises as an explicit corruption
+// marker line rather than being skipped: silently omitting it would let two
+// genuinely different states — one healthy, one corrupt — share a Serialize
+// string and therefore a Hash/StateDigest, poisoning representative
+// equivalence classes with a false merge.
 func (fs *FS) Serialize() string {
 	var b strings.Builder
 	for _, name := range fs.Walk() {
 		in, _ := fs.lookup(name)
 		if in == nil {
+			fmt.Fprintf(&b, "! %s DANGLING-NAME\n", name)
 			continue
 		}
 		if in.dir {
