@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck doclint test race ci bench gobench experiments examples fuzz fuzz-smoke chaos representative incremental clean
+.PHONY: all build vet fmtcheck doclint test race ci bench benchgate gobench experiments examples fuzz fuzz-smoke chaos representative incremental clean
 
 all: build vet test
 
@@ -32,7 +32,7 @@ race:
 	$(GO) test -race ./...
 
 # Everything a change must pass before it lands.
-ci: build vet fmtcheck doclint test race fuzz-smoke chaos representative incremental
+ci: build vet fmtcheck doclint test race fuzz-smoke chaos representative incremental benchgate
 
 # Run the benchmark trajectory with observability enabled and write the
 # per-run summary (phase timings, counters, Stats) as BENCH_<stamp>.json,
@@ -42,6 +42,21 @@ bench:
 	@out=BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json; \
 	$(GO) run ./cmd/experiments -exp bench -bench-out $$out && \
 	$(GO) run ./internal/tools/benchdiff $$out
+
+# Enforced perf-regression gate: the benchdiff gate-mode unit tests, then a
+# fresh run of the fast fixed-seed cell subset compared against the latest
+# committed BENCH_*.json. A cell whose states_per_sec drops, or whose
+# restores_per_state rises, beyond the tolerance fails the build (exit 1).
+# The default tolerance is deliberately loose — wall-clock throughput varies
+# across machines — while still catching order-of-magnitude hot-path
+# regressions; tighten it locally with BENCHGATE_TOLERANCE=0.2.
+BENCHGATE_TOLERANCE ?= 0.5
+benchgate:
+	$(GO) test ./internal/tools/benchdiff/ -count=1
+	@out=$$(mktemp); \
+	trap 'rm -f "$$out"' EXIT; \
+	$(GO) run ./cmd/experiments -exp bench -bench-cells fast -bench-out "$$out" && \
+	$(GO) run ./internal/tools/benchdiff -gate -subset fast -max-regress $(BENCHGATE_TOLERANCE) "$$out"
 
 # Go micro/macro benchmarks (paper tables and figures as testing.B).
 gobench:
@@ -99,6 +114,7 @@ fuzz-smoke:
 chaos:
 	$(GO) test ./internal/paracrash/ -run 'TestChaosResumeDeterminism|TestFaultTransparency|TestHardFaults|TestRepresentativeChaosResume|TestRepresentativeQuarantine' -count=1 -v
 	$(GO) test ./internal/fuzzcamp/ -run 'TestCampaignHealsInjectedFaults|TestCampaignQuarantinesHardFaultedCells' -count=1
+	$(GO) test ./internal/obs/ ./internal/serve/ -run 'TestChaos' -count=1 -v
 
 clean:
 	$(GO) clean ./...

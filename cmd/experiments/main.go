@@ -41,6 +41,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: fig5, fig8, fig9, fig10, fig11, table3, sensitivity, speedups, parallel, bench, fuzz, all")
 	servers := flag.String("servers", "4,6,8,16,32", "server counts for fig11")
 	benchOut := flag.String("bench-out", "", "bench: write the BENCH_*.json summary to this file (default stdout)")
+	benchCells := flag.String("bench-cells", "all", "bench: cell subset to run: all, or fast (the quick benchgate set)")
+	var sinkSpecs obs.SinkSpecList
+	flag.Var(&sinkSpecs, "sink", "bench: attach a telemetry sink for per-cell metrics (repeatable): stdout, stderr, jsonl:PATH, push:URL")
 	fuzzSeeds := flag.Int("seeds", 64, "fuzz: number of generated workload seeds")
 	fuzzSeedStart := flag.Int64("seed-start", 0, "fuzz: first generator seed")
 	fuzzEnumOps := flag.Int("enum-ops", 2, "fuzz: also enumerate all op sequences up to this length (0 = off)")
@@ -150,7 +153,17 @@ func main() {
 			fmt.Printf("  parallel (workers=%d): %.4fs  (%.1fx speedup)\n", res.Workers, res.ParallelSeconds, res.Speedup)
 			fmt.Printf("  states checked: %d, bugs: %d, reports identical: %v\n", res.States, res.Bugs, res.Identical)
 		case "bench":
-			sum := exps.Bench(h5p)
+			sinks, closers, err := parseSinks(sinkSpecs)
+			if err != nil {
+				fatal(err)
+			}
+			sum, err := exps.BenchCells(h5p, *benchCells, sinks...)
+			for _, c := range closers {
+				_ = c()
+			}
+			if err != nil {
+				fatal(err)
+			}
 			out, err := sum.JSON()
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -224,6 +237,26 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// parseSinks resolves -sink specs into live sinks plus their closers. An
+// error from any spec closes the sinks already opened so a bad third spec
+// does not leak the first two files.
+func parseSinks(specs obs.SinkSpecList) ([]obs.MetricSink, []func() error, error) {
+	var sinks []obs.MetricSink
+	var closers []func() error
+	for _, spec := range specs {
+		sink, closer, err := obs.ParseSinkSpec(spec)
+		if err != nil {
+			for _, c := range closers {
+				_ = c()
+			}
+			return nil, nil, err
+		}
+		sinks = append(sinks, sink)
+		closers = append(closers, closer)
+	}
+	return sinks, closers, nil
 }
 
 // parseServerCounts parses fig11's comma-separated server counts. Every

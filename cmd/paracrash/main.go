@@ -60,11 +60,14 @@ func main() {
 		faultSeed    = flag.Int64("fault-seed", 0, "fault-injection seed (with -fault-rate)")
 		faultRate    = flag.Float64("fault-rate", 0, "inject faults into the engine's own I/O with this probability in [0,1] (0 = off)")
 
-		metricsPath = flag.String("metrics", "", "write the run's observability summary (phase timings, counters, gauges) as JSON to this file")
-		progress    = flag.Bool("progress", false, "print a one-line progress ticker to stderr every second")
-		progJSONL   = flag.String("progress-jsonl", "", "write machine-readable progress events (one JSON object per line) to this file")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof, expvar and /debug/obs on this address (e.g. localhost:6060)")
+		metricsPath  = flag.String("metrics", "", "write the run's observability summary (phase timings, counters, gauges) as JSON to this file")
+		progress     = flag.Bool("progress", false, "print a one-line progress ticker to stderr every second")
+		progJSONL    = flag.String("progress-jsonl", "", "write machine-readable progress events (one JSON object per line) to this file")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof, expvar, /debug/obs and /metrics on this address (e.g. localhost:6060)")
+		sinkInterval = flag.Duration("sink-interval", time.Second, "telemetry sampling interval for -sink fan-out")
 	)
+	var sinkSpecs obs.SinkSpecList
+	flag.Var(&sinkSpecs, "sink", "attach a telemetry sink (repeatable): stdout, stderr, jsonl:PATH, push:URL")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -95,6 +98,9 @@ func main() {
 	}
 	if *faultRate < 0 || *faultRate > 1 {
 		fatalIf(fmt.Errorf("-fault-rate must be in [0,1], got %g", *faultRate))
+	}
+	if len(sinkSpecs) > 0 && *sinkInterval <= 0 {
+		fatalIf(fmt.Errorf("-sink-interval must be > 0 when sinks are attached, got %v", *sinkInterval))
 	}
 	repSet, incSet := false, false
 	flag.Visit(func(f *flag.Flag) {
@@ -176,9 +182,32 @@ func main() {
 	// Observability: one run per invocation, attached only when requested
 	// (the nil default keeps the engine's hot paths free of metric work).
 	var run *obs.Run
-	if *metricsPath != "" || *progress || *progJSONL != "" || *pprofAddr != "" {
+	if *metricsPath != "" || *progress || *progJSONL != "" || *pprofAddr != "" || len(sinkSpecs) > 0 {
 		run = obs.NewRun()
 		opts.Obs = run
+	}
+	// Telemetry pipeline: route the run's samples to the requested sinks
+	// on the sampling interval (fleet series only — a CLI run is one job).
+	// Closed explicitly before reporting, because the bugs-found exit path
+	// skips deferred calls.
+	closeTelemetry := func() {}
+	if len(sinkSpecs) > 0 {
+		router := obs.NewRouter()
+		router.Attach("", run)
+		var closers []func() error
+		for _, spec := range sinkSpecs {
+			sink, closer, err := obs.ParseSinkSpec(spec)
+			fatalIf(err)
+			router.AddSink(sink)
+			closers = append(closers, closer)
+		}
+		router.Start(*sinkInterval)
+		closeTelemetry = func() {
+			router.Close() // final sample + bounded sink drain
+			for _, c := range closers {
+				_ = c()
+			}
+		}
 	}
 	if *progress {
 		run.AddSink(&obs.HumanSink{W: os.Stderr})
@@ -227,6 +256,7 @@ func main() {
 
 	rep, err := exps.RunOne(*fsName, prog, opts, h5p, conf)
 	run.Close() // flush the final progress event before reporting
+	closeTelemetry()
 	fatalIf(err)
 	if ckpt != nil {
 		fmt.Fprintf(os.Stderr, "paracrash: checkpoint %s: resumed %d verdicts", ckpt.Path(), ckpt.Resumed())

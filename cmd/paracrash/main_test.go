@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"strings"
@@ -64,6 +65,10 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"remote with resume", []string{"-remote", "localhost:1", "-resume", "ckpt.jsonl"}, "local-only"},
 		{"remote with fault rate", []string{"-remote", "localhost:1", "-fault-rate", "0.5"}, "local-only"},
 		{"representative conflict", []string{"-representative=true", "-no-representative"}, "-representative=true conflicts with -no-representative"},
+		{"bad sink spec", []string{"-sink", "bogus"}, "unknown sink spec"},
+		{"bad sink jsonl path", []string{"-sink", "jsonl:"}, "unknown sink spec"},
+		{"bad sink push scheme", []string{"-sink", "push:ftp://x"}, "unknown sink spec"},
+		{"zero sink interval", []string{"-fs", "ext4", "-program", "CR", "-sink", "stdout", "-sink-interval", "0s"}, "-sink-interval must be > 0"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -88,6 +93,43 @@ func TestCLICleanRun(t *testing.T) {
 		if code != 0 {
 			t.Fatalf("%v: exit code %d, want 0; stderr: %s", args, code, stderr)
 		}
+	}
+}
+
+// TestCLISinkJSONL runs a clean cell with a jsonl metric sink attached and
+// verifies the file holds JSON-array batches carrying the run's counters —
+// the router's final flush guarantees at least one batch however fast the
+// run is.
+func TestCLISinkJSONL(t *testing.T) {
+	path := t.TempDir() + "/metrics.jsonl"
+	code, stderr := runCLI(t, "-fs", "ext4", "-program", "CR", "-sink", "jsonl:"+path)
+	if code != 0 {
+		t.Fatalf("exit code %d; stderr: %s", code, stderr)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("sink file missing: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatalf("sink file empty")
+	}
+	var batch []struct {
+		Name  string  `json:"name"`
+		Kind  string  `json:"kind"`
+		Value float64 `json:"value"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &batch); err != nil {
+		t.Fatalf("final batch not a JSON array: %v\n%s", err, lines[len(lines)-1])
+	}
+	found := false
+	for _, m := range batch {
+		if m.Name == "states/checked" && m.Kind == "counter" && m.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("final batch missing states/checked counter: %s", lines[len(lines)-1])
 	}
 }
 

@@ -10,6 +10,7 @@
 //	curl -X POST localhost:7077/v1/jobs -d '{"fs":"beegfs","program":"ARVR"}'
 //	curl localhost:7077/v1/jobs/<id>
 //	curl -N localhost:7077/v1/jobs/<id>/events
+//	curl localhost:7077/metrics
 //
 // On SIGINT/SIGTERM the daemon drains: new submissions are rejected with
 // 503 while in-flight jobs run to completion (bounded by -drain-timeout,
@@ -40,7 +41,10 @@ func main() {
 		maxTimeout   = flag.Duration("max-job-timeout", time.Hour, "cap on any job's timeout (0 = no cap)")
 		maxWorkers   = flag.Int("max-job-workers", 0, "cap on one job's exploration workers (0 = no cap)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs before cancelling them")
+		sinkInterval = flag.Duration("sink-interval", 10*time.Second, "telemetry sampling interval for -sink fan-out")
 	)
+	var sinkSpecs obs.SinkSpecList
+	flag.Var(&sinkSpecs, "sink", "attach a telemetry sink (repeatable): stdout, stderr, jsonl:PATH, push:URL")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "paracrashd: unexpected arguments: %v\n", flag.Args())
@@ -52,6 +56,9 @@ func main() {
 	}
 	if *jobTimeout < 0 || *maxTimeout < 0 || *drainTimeout < 0 {
 		fatalf("timeouts must be >= 0")
+	}
+	if len(sinkSpecs) > 0 && *sinkInterval <= 0 {
+		fatalf("-sink-interval must be > 0 when sinks are attached, got %v", *sinkInterval)
 	}
 
 	store, warns := serve.OpenStore(*resultsDir)
@@ -67,6 +74,25 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MaxJobWorkers:  *maxWorkers,
 	}, store, run)
+
+	// Telemetry fan-out: the scheduler's router already aggregates the
+	// daemon run and every live job; -sink attaches push-style outputs and
+	// starts the sampling loop (the pull-style /metrics endpoint needs
+	// neither).
+	router := sched.Router()
+	for _, spec := range sinkSpecs {
+		sink, closer, err := obs.ParseSinkSpec(spec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		router.AddSink(sink)
+		defer func() { _ = closer() }()
+	}
+	if len(sinkSpecs) > 0 {
+		router.Start(*sinkInterval)
+	}
+	defer router.Close()
+
 	sched.Start()
 
 	// Re-enqueue jobs a previous daemon left queued or running: explore jobs
@@ -84,7 +110,7 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 
 	loaded := len(store.List())
-	fmt.Fprintf(os.Stderr, "paracrashd: listening on %s (results=%q, %d persisted jobs loaded, %d slots, queue %d)\n",
+	fmt.Fprintf(os.Stderr, "paracrashd: listening on %s (results=%q, %d persisted jobs loaded, %d slots, queue %d, /metrics exposed)\n",
 		*addr, *resultsDir, loaded, *maxJobs, *queueDepth)
 
 	sigc := make(chan os.Signal, 1)

@@ -2,6 +2,7 @@ package exps
 
 import (
 	"encoding/json"
+	"fmt"
 	"time"
 
 	"paracrash/internal/obs"
@@ -51,30 +52,37 @@ type BenchSummary struct {
 	Records     []BenchRecord `json:"records"`
 }
 
+// benchCell is one row of the fixed benchmark trajectory.
+type benchCell struct {
+	fs, prog string
+	mode     paracrash.Mode
+	workers  int
+	norep    bool
+	noinc    bool
+	// fast marks the cells of the quick `make benchgate` subset: the
+	// headline ARVR/BeeGFS cell plus one cheap contrast per axis, enough
+	// to catch a hot-path regression in seconds.
+	fast bool
+}
+
 // benchCells is the fixed benchmark trajectory: the §6.4 strategy contrast
 // on ARVR/BeeGFS plus one representative cell per remaining file system.
 // The first cells differ only in the representative-exploration and
 // incremental-reconstruction knobs, so every BENCH_*.json carries its own
 // brute-force and full-restore baselines for the class-attribution and
 // O(delta) savings.
-var benchCells = []struct {
-	fs, prog string
-	mode     paracrash.Mode
-	workers  int
-	norep    bool
-	noinc    bool
-}{
-	{"beegfs", "ARVR", paracrash.ModeBrute, 1, true, true}, // exhaustive full-restore baseline
-	{"beegfs", "ARVR", paracrash.ModeBrute, 1, true, false},
-	{"beegfs", "ARVR", paracrash.ModeBrute, 1, false, false},
-	{"beegfs", "ARVR", paracrash.ModeBrute, 0, false, false}, // parallel, one worker per CPU
-	{"beegfs", "ARVR", paracrash.ModePruning, 1, false, false},
-	{"beegfs", "ARVR", paracrash.ModeOptimized, 1, false, false},
-	{"orangefs", "CR", paracrash.ModePruning, 1, false, false},
-	{"glusterfs", "WAL", paracrash.ModePruning, 1, false, false},
-	{"gpfs", "H5-create", paracrash.ModePruning, 1, false, false},
-	{"lustre", "H5-resize", paracrash.ModePruning, 1, false, false},
-	{"ext4", "CR", paracrash.ModePruning, 1, false, false},
+var benchCells = []benchCell{
+	{"beegfs", "ARVR", paracrash.ModeBrute, 1, true, true, false}, // exhaustive full-restore baseline
+	{"beegfs", "ARVR", paracrash.ModeBrute, 1, true, false, false},
+	{"beegfs", "ARVR", paracrash.ModeBrute, 1, false, false, true},
+	{"beegfs", "ARVR", paracrash.ModeBrute, 0, false, false, true}, // parallel, one worker per CPU
+	{"beegfs", "ARVR", paracrash.ModePruning, 1, false, false, false},
+	{"beegfs", "ARVR", paracrash.ModeOptimized, 1, false, false, false},
+	{"orangefs", "CR", paracrash.ModePruning, 1, false, false, false},
+	{"glusterfs", "WAL", paracrash.ModePruning, 1, false, false, false},
+	{"gpfs", "H5-create", paracrash.ModePruning, 1, false, false, false},
+	{"lustre", "H5-resize", paracrash.ModePruning, 1, false, false, false},
+	{"ext4", "CR", paracrash.ModePruning, 1, false, false, true},
 }
 
 // benchReps is how many times each cell runs; the fastest run's duration
@@ -84,13 +92,39 @@ var benchCells = []struct {
 // the minimum duration is the cell's actual steady-state throughput.
 const benchReps = 5
 
-// Bench runs the benchmark trajectory with observability enabled and
+// Bench runs the full benchmark trajectory with observability enabled and
 // returns the summary document. Each cell gets its own obs run, so the
 // per-cell phase timings and counters are independent; the obs summary
-// kept is the fastest repetition's.
-func Bench(h5p workloads.H5Params) *BenchSummary {
+// kept is the fastest repetition's. Optional sinks receive every cell's
+// metrics through the telemetry pipeline (see BenchCells).
+func Bench(h5p workloads.H5Params, sinks ...obs.MetricSink) *BenchSummary {
+	sum, _ := BenchCells(h5p, "all", sinks...)
+	return sum
+}
+
+// BenchCells runs the named subset of the benchmark trajectory: "all"
+// (every cell) or "fast" (the quick benchgate subset). Each finished
+// cell's best-run metrics are routed through the telemetry pipeline to the
+// given sinks — the cell's counters, gauges and timers under a
+// program/fs/mode job label, plus the derived bench/states-per-sec and
+// bench/restores-per-state gauges the regression gate budgets.
+func BenchCells(h5p workloads.H5Params, subset string, sinks ...obs.MetricSink) (*BenchSummary, error) {
+	var cells []benchCell
+	switch subset {
+	case "all":
+		cells = benchCells
+	case "fast":
+		for _, c := range benchCells {
+			if c.fast {
+				cells = append(cells, c)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("exps: unknown bench cell subset %q (want all or fast)", subset)
+	}
+
 	sum := &BenchSummary{GeneratedAt: time.Now().UTC()}
-	for _, cell := range benchCells {
+	for _, cell := range cells {
 		prog, err := ProgramByName(cell.prog)
 		if err != nil {
 			sum.Records = append(sum.Records, BenchRecord{Program: cell.prog, FS: cell.fs, Err: err.Error()})
@@ -132,10 +166,36 @@ func Bench(h5p workloads.H5Params) *BenchSummary {
 				rec.RestoresPerState = float64(best.Stats.ServerRestores) / float64(covered)
 			}
 			rec.Obs = bestObs.Summary()
+			emitBenchCell(rec, bestObs, sinks)
 		}
 		sum.Records = append(sum.Records, rec)
 	}
-	return sum
+	return sum, nil
+}
+
+// emitBenchCell publishes one finished cell's metrics through a telemetry
+// router to the attached sinks: the best repetition's collector under the
+// cell's job label, plus the derived throughput gauges the benchgate
+// budgets. A cell with no sinks costs nothing.
+func emitBenchCell(rec BenchRecord, run *obs.Run, sinks []obs.MetricSink) {
+	if len(sinks) == 0 {
+		return
+	}
+	label := fmt.Sprintf("%s/%s/%s/workers=%d", rec.Program, rec.FS, rec.Mode, rec.Workers)
+	router := obs.NewRouter()
+	router.Attach(label, obs.CollectorFunc(func(dst []obs.Metric) []obs.Metric {
+		dst = run.CollectMetrics(dst)
+		return append(dst,
+			obs.Metric{Name: "bench/states-per-sec", Kind: obs.KindGauge, Value: rec.StatesPerSec},
+			obs.Metric{Name: "bench/restores-per-state", Kind: obs.KindGauge, Value: rec.RestoresPerState},
+			obs.Metric{Name: "bench/seconds", Kind: obs.KindGauge, Value: rec.Seconds},
+		)
+	}))
+	for _, s := range sinks {
+		router.AddSink(s)
+	}
+	router.Publish()
+	router.Close()
 }
 
 // JSON renders the summary indented for the BENCH_*.json file.

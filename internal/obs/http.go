@@ -18,6 +18,7 @@ var expvarOnce sync.Once
 //	/debug/pprof/*  net/http/pprof profiles (CPU, heap, goroutine, ...)
 //	/debug/vars     expvar, including the run's live summary under "paracrash"
 //	/debug/obs      the run's Summary as JSON
+//	/metrics        the run's live samples in Prometheus text exposition
 //
 // It returns the bound address (useful with ":0") and a shutdown function.
 // The run may be nil; the profiling endpoints still work.
@@ -29,7 +30,13 @@ func Serve(addr string, r *Run) (string, func(), error) {
 	expvarOnce.Do(func() {
 		expvar.Publish("paracrash", expvar.Func(func() any { return r.Summary() }))
 	})
+	// A single-collector router gives the CLI's endpoint the same
+	// exposition shape as the daemon's fleet endpoint (fleet series only —
+	// one process, no job labels).
+	rt := NewRouter()
+	rt.Attach("", r)
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", rt.PromHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,6 +1,13 @@
-// Package obs is the run-level observability layer of ParaCrash: phase
-// timers, atomic counters and gauges, a progress-event stream with
-// pluggable sinks, and an opt-in pprof/expvar HTTP endpoint.
+// Package obs is the telemetry pipeline of ParaCrash, structured as
+// collectors → router → sinks: collectors (phase timers, atomic counters
+// and gauges on a Run; anything implementing Collector) feed a metric
+// Router that relabels, aggregates per-job series into fleet rollups, and
+// fans sampled batches out to pluggable MetricSinks (stdout text, JSONL
+// file, HTTP push, a Prometheus-text /metrics handler, and an in-memory
+// RingSink tests assert against). The original progress-event stream
+// (Event, Sink, StreamSink) and the one-shot JSON Summary ride unchanged
+// beside the pipeline, so the -metrics and -progress-jsonl outputs stay
+// byte-stable; an opt-in pprof/expvar HTTP endpoint completes the layer.
 //
 // The package is built around one invariant: observability is passive. A
 // Run only ever records what the exploration engine did; it never feeds

@@ -159,22 +159,11 @@ func TestConcurrentTimersAccumulate(t *testing.T) {
 	t.Fatal("pfs/recover timer missing")
 }
 
-type captureSink struct {
-	mu  sync.Mutex
-	evs []Event
-}
-
-func (s *captureSink) Emit(ev Event) {
-	s.mu.Lock()
-	s.evs = append(s.evs, ev)
-	s.mu.Unlock()
-}
-
 func TestProgressEventsAndSinks(t *testing.T) {
 	r := NewRun()
-	cap := &captureSink{}
+	ring := NewRingSink(256)
 	var human, jsonl bytes.Buffer
-	r.AddSink(cap)
+	r.AddSink(ring)
 	r.AddSink(&HumanSink{W: &human})
 	r.AddSink(NewJSONLSink(&jsonl))
 
@@ -188,13 +177,12 @@ func TestProgressEventsAndSinks(t *testing.T) {
 	}
 	r.Close()
 
-	cap.mu.Lock()
-	defer cap.mu.Unlock()
-	if len(cap.evs) < 2 {
-		t.Fatalf("got %d events, want >= 2", len(cap.evs))
+	evs := ring.Events()
+	if len(evs) < 2 {
+		t.Fatalf("got %d events, want >= 2", len(evs))
 	}
-	last := cap.evs[len(cap.evs)-1]
-	if !last.Final {
+	last, ok := ring.LastEvent()
+	if !ok || !last.Final {
 		t.Fatal("last event must be final")
 	}
 	if last.Counters["states/checked"] != 500 {
@@ -207,7 +195,7 @@ func TestProgressEventsAndSinks(t *testing.T) {
 		t.Fatalf("gauge missing from event: %+v", last.Gauges)
 	}
 	// Second and later events carry rates.
-	if len(cap.evs) >= 2 && cap.evs[1].Rates == nil {
+	if evs[1].Rates == nil {
 		t.Fatal("second event must carry rates")
 	}
 	if !strings.Contains(human.String(), "states/checked=") {
@@ -223,8 +211,8 @@ func TestProgressEventsAndSinks(t *testing.T) {
 		}
 		n++
 	}
-	if n != len(cap.evs) {
-		t.Fatalf("JSONL lines = %d, capture sink events = %d", n, len(cap.evs))
+	if n != len(evs) {
+		t.Fatalf("JSONL lines = %d, ring sink events = %d", n, len(evs))
 	}
 }
 

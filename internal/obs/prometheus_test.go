@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with the current output")
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"states/checked", "states_checked"},
+		{"phase/graph-build", "phase_graph_build"},
+		{"a.b.c", "a_b_c"},
+		{"already_fine", "already_fine"},
+		{"7layers", "_7layers"},
+		{"mixed/CASE-99", "mixed_CASE_99"},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := SanitizeMetricName(tc.in); got != tc.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestPrometheusConformance is the table-driven exposition check: every
+// rendered line must carry the namespace, the sanitized family name, the
+// counter suffix convention, correct TYPE declarations and escaped labels.
+func TestPrometheusConformance(t *testing.T) {
+	cases := []struct {
+		name  string
+		batch []Metric
+		want  []string // exact output lines, in order
+	}{
+		{
+			name:  "fleet counter gains _total",
+			batch: []Metric{{Name: "states/checked", Kind: KindCounter, Value: 42}},
+			want: []string{
+				"# TYPE paracrash_states_checked_total counter",
+				"paracrash_states_checked_total 42",
+			},
+		},
+		{
+			name:  "gauge keeps its name",
+			batch: []Metric{{Name: "queue/depth", Kind: KindGauge, Value: 3}},
+			want: []string{
+				"# TYPE paracrash_queue_depth gauge",
+				"paracrash_queue_depth 3",
+			},
+		},
+		{
+			name: "fleet then per-job under one TYPE line",
+			batch: []Metric{
+				{Name: "states/checked", Kind: KindCounter, Value: 15},
+				{Name: "states/checked", Kind: KindCounter, Job: "job-a", Value: 10},
+				{Name: "states/checked", Kind: KindCounter, Job: "job-b", Value: 5},
+			},
+			want: []string{
+				"# TYPE paracrash_states_checked_total counter",
+				"paracrash_states_checked_total 15",
+				`paracrash_states_checked_total{job="job-a"} 10`,
+				`paracrash_states_checked_total{job="job-b"} 5`,
+			},
+		},
+		{
+			name:  "label escaping",
+			batch: []Metric{{Name: "x", Kind: KindGauge, Job: `a"b\c` + "\n", Value: 1}},
+			want: []string{
+				"# TYPE paracrash_x gauge",
+				`paracrash_x{job="a\"b\\c\n"} 1`,
+			},
+		},
+		{
+			name:  "fractional seconds survive",
+			batch: []Metric{{Name: "pfs/restore/seconds", Kind: KindCounter, Value: 0.125}},
+			want: []string{
+				"# TYPE paracrash_pfs_restore_seconds_total counter",
+				"paracrash_pfs_restore_seconds_total 0.125",
+			},
+		},
+		{
+			name:  "existing _total not doubled",
+			batch: []Metric{{Name: "ops_total", Kind: KindCounter, Value: 2}},
+			want: []string{
+				"# TYPE paracrash_ops_total counter",
+				"paracrash_ops_total 2",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WritePrometheus(&buf, tc.batch); err != nil {
+				t.Fatal(err)
+			}
+			got := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+			if len(got) != len(tc.want) {
+				t.Fatalf("lines = %d, want %d:\n%s", len(got), len(tc.want), buf.String())
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("line %d = %q, want %q", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPrometheusGolden pins the full exposition of a realistic router
+// sample against testdata/exposition.golden, so any format drift is a
+// reviewed diff rather than a silent scraper break.
+func TestPrometheusGolden(t *testing.T) {
+	rt := NewRouter()
+	proc := NewRun()
+	proc.Counter("jobs/submitted").Add(3)
+	proc.Counter("jobs/done").Add(2)
+	rt.Attach("", proc)
+	rt.Attach("job-0001", staticCollector{
+		{Name: "states/checked", Kind: KindCounter, Value: 128},
+		{Name: "states/deduped", Kind: KindCounter, Value: 512},
+		{Name: "restores/servers", Kind: KindCounter, Value: 36},
+		{Name: "legal/pfs", Kind: KindGauge, Value: 640},
+	})
+	rt.Attach("job-0002", staticCollector{
+		{Name: "states/checked", Kind: KindCounter, Value: 64},
+		{Name: "legal/pfs", Kind: KindGauge, Value: 320},
+	})
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, rt.Sample()); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run TestPrometheusGolden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPromHandlerScrape(t *testing.T) {
+	rt := NewRouter()
+	run := NewRun()
+	run.Counter("states/checked").Add(7)
+	rt.Attach("job-x", run)
+
+	srv := httptest.NewServer(rt.PromHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != promContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, promContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE paracrash_states_checked_total counter",
+		"paracrash_states_checked_total 7",
+		`paracrash_states_checked_total{job="job-x"} 7`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, text)
+		}
+	}
+
+	// Scrapes are live: a later counter bump shows up on the next scrape.
+	run.Counter("states/checked").Add(3)
+	resp2, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(body2), "paracrash_states_checked_total 10") {
+		t.Fatalf("second scrape not live:\n%s", body2)
+	}
+}

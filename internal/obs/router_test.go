@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// staticCollector yields a fixed sample set — deterministic router input.
+type staticCollector []Metric
+
+func (c staticCollector) CollectMetrics(dst []Metric) []Metric {
+	return append(dst, c...)
+}
+
+func TestApplyRulesFirstMatchWins(t *testing.T) {
+	rules := []Rule{
+		{Match: "noise/", Drop: true},
+		{Match: "states/", Replace: "exploration/"},
+		{Match: "states/checked", Replace: "never-reached/"}, // shadowed by the prefix rule above
+	}
+	cases := []struct {
+		in   string
+		want string
+		keep bool
+	}{
+		{"noise/gc-pause", "", false},
+		{"states/checked", "exploration/checked", true},
+		{"restores/servers", "restores/servers", true},
+	}
+	for _, tc := range cases {
+		got, keep := applyRules(rules, tc.in)
+		if keep != tc.keep || got != tc.want {
+			t.Errorf("applyRules(%q) = (%q, %v), want (%q, %v)", tc.in, got, keep, tc.want, tc.keep)
+		}
+	}
+}
+
+func TestRouterFleetAndPerJobSeries(t *testing.T) {
+	rt := NewRouter()
+	proc := NewRun()
+	proc.Counter("jobs/submitted").Add(2)
+	rt.Attach("", proc)
+	rt.Attach("job-a", staticCollector{
+		{Name: "states/checked", Kind: KindCounter, Value: 10},
+		{Name: "queue/depth", Kind: KindGauge, Value: 3},
+	})
+	rt.Attach("job-b", staticCollector{
+		{Name: "states/checked", Kind: KindCounter, Value: 5},
+	})
+
+	batch := rt.Sample()
+	find := func(name, job string) (Metric, bool) {
+		for _, m := range batch {
+			if m.Name == name && m.Job == job {
+				return m, true
+			}
+		}
+		return Metric{}, false
+	}
+	if m, ok := find("states/checked", ""); !ok || m.Value != 15 {
+		t.Fatalf("fleet states/checked = %+v (ok=%v), want 15", m, ok)
+	}
+	if m, ok := find("states/checked", "job-a"); !ok || m.Value != 10 {
+		t.Fatalf("per-job states/checked = %+v (ok=%v), want 10", m, ok)
+	}
+	if m, ok := find("states/checked", "job-b"); !ok || m.Value != 5 {
+		t.Fatalf("per-job states/checked = %+v (ok=%v), want 5", m, ok)
+	}
+	// The process-level collector contributes to the fleet only: no series
+	// labeled with the empty job beyond the fleet rollup, and no per-job
+	// jobs/submitted.
+	if m, ok := find("jobs/submitted", ""); !ok || m.Value != 2 {
+		t.Fatalf("fleet jobs/submitted = %+v (ok=%v), want 2", m, ok)
+	}
+	if _, ok := find("jobs/submitted", "job-a"); ok {
+		t.Fatal("process-level series leaked into a job label")
+	}
+	// Sorted by (name, job), fleet ("") first within a name.
+	if !sort.SliceIsSorted(batch, func(i, j int) bool {
+		if batch[i].Name != batch[j].Name {
+			return batch[i].Name < batch[j].Name
+		}
+		return batch[i].Job < batch[j].Job
+	}) {
+		t.Fatalf("batch not sorted: %+v", batch)
+	}
+}
+
+func TestRouterRelabelingShapesOutput(t *testing.T) {
+	rt := NewRouter()
+	rt.Attach("j", staticCollector{
+		{Name: "states/checked", Kind: KindCounter, Value: 7},
+		{Name: "debug/scratch", Kind: KindGauge, Value: 1},
+	})
+	rt.SetRules([]Rule{
+		{Match: "debug/", Drop: true},
+		{Match: "states/", Replace: "exploration/"},
+	})
+	batch := rt.Sample()
+	for _, m := range batch {
+		if m.Name == "debug/scratch" {
+			t.Fatalf("dropped series survived: %+v", batch)
+		}
+		if m.Name == "states/checked" {
+			t.Fatalf("relabel did not apply: %+v", batch)
+		}
+	}
+	found := 0
+	for _, m := range batch {
+		if m.Name == "exploration/checked" {
+			found++
+		}
+	}
+	if found != 2 { // fleet + per-job
+		t.Fatalf("exploration/checked series = %d, want 2 (fleet + job)\n%+v", found, batch)
+	}
+}
+
+func TestRouterDetachFoldsCounters(t *testing.T) {
+	rt := NewRouter()
+	run := NewRun()
+	run.Counter("states/checked").Add(9)
+	run.Gauge("queue/depth").Set(4)
+	rt.Attach("job-a", run)
+
+	rt.Detach("job-a")
+	batch := rt.Sample()
+	var fleet, perJob, gauges int
+	for _, m := range batch {
+		switch {
+		case m.Name == "states/checked" && m.Job == "":
+			fleet++
+			if m.Value != 9 {
+				t.Fatalf("folded fleet counter = %g, want 9", m.Value)
+			}
+		case m.Name == "states/checked":
+			perJob++
+		case m.Name == "queue/depth":
+			gauges++
+		}
+	}
+	if fleet != 1 {
+		t.Fatalf("fleet counter series = %d, want 1\n%+v", fleet, batch)
+	}
+	if perJob != 0 {
+		t.Fatalf("detached job still has per-job series: %+v", batch)
+	}
+	if gauges != 0 {
+		t.Fatalf("detached job's gauge survived the fold: %+v", batch)
+	}
+
+	// Detaching an unknown label folds nothing and does not panic.
+	rt.Detach("nope")
+}
+
+// TestRouterMergeOrderIndependence is the aggregation property test: for a
+// randomized fleet of jobs with random counter values, the final fleet
+// totals are identical whatever order the jobs complete in, and however
+// sampling interleaves with completions — fold-on-detach plus commutative
+// addition makes the rollup associative.
+func TestRouterMergeOrderIndependence(t *testing.T) {
+	const jobs = 12
+	rng := rand.New(rand.NewSource(42))
+
+	type jobSpec struct {
+		label string
+		vals  map[string]float64
+	}
+	names := []string{"states/checked", "states/deduped", "restores/servers", "ops/replayed"}
+	specs := make([]jobSpec, jobs)
+	want := map[string]float64{}
+	for i := range specs {
+		specs[i] = jobSpec{label: fmt.Sprintf("job-%02d", i), vals: map[string]float64{}}
+		for _, n := range names {
+			if rng.Intn(4) == 0 {
+				continue // not every job touches every counter
+			}
+			v := float64(rng.Intn(1000))
+			specs[i].vals[n] = v
+			want[n] += v
+		}
+	}
+
+	fleetTotals := func(batch []Metric) map[string]float64 {
+		out := map[string]float64{}
+		for _, m := range batch {
+			if m.Job == "" {
+				out[m.Name] += m.Value
+			}
+		}
+		return out
+	}
+
+	var baseline map[string]float64
+	for trial := 0; trial < 20; trial++ {
+		rt := NewRouter()
+		for _, s := range specs {
+			var batch []Metric
+			for _, n := range names {
+				if v, ok := s.vals[n]; ok {
+					batch = append(batch, Metric{Name: n, Kind: KindCounter, Value: v})
+				}
+			}
+			rt.Attach(s.label, staticCollector(batch))
+		}
+		// Complete the jobs in a fresh random order, sampling mid-stream at
+		// random points — intermediate samples must not perturb the end state.
+		perm := rng.Perm(jobs)
+		for _, idx := range perm {
+			if rng.Intn(2) == 0 {
+				rt.Sample()
+			}
+			rt.Detach(specs[idx].label)
+		}
+		got := fleetTotals(rt.Sample())
+		if trial == 0 {
+			baseline = got
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("fleet totals = %v, want %v", got, want)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, baseline) {
+			t.Fatalf("trial %d (order %v): fleet totals = %v, differ from baseline %v", trial, perm, got, baseline)
+		}
+	}
+}
+
+func TestRouterPublishReachesSinks(t *testing.T) {
+	rt := NewRouter()
+	rt.Attach("j", staticCollector{{Name: "states/checked", Kind: KindCounter, Value: 3}})
+	ring := NewRingSink(8)
+	rt.AddSink(ring)
+	rt.Publish()
+	rt.Close() // flushes the worker
+
+	if m, ok := ring.Find("states/checked", "j"); !ok || m.Value != 3 {
+		t.Fatalf("sink batch missing per-job sample: %+v", ring.LastBatch())
+	}
+	if m, ok := ring.Find("states/checked", ""); !ok || m.Value != 3 {
+		t.Fatalf("sink batch missing fleet sample: %+v", ring.LastBatch())
+	}
+}
+
+func TestRouterNilIsNoop(t *testing.T) {
+	var rt *Router
+	rt.Attach("j", NewRun())
+	rt.Detach("j")
+	rt.SetRules([]Rule{{Match: "x", Drop: true}})
+	rt.SetFaults(nil)
+	rt.AddSink(NewRingSink(1))
+	rt.Publish()
+	rt.Start(0)
+	rt.Close()
+	if rt.Sample() != nil || rt.Dropped() != 0 || rt.Errors() != 0 {
+		t.Fatal("nil router must be inert")
+	}
+}

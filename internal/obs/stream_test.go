@@ -93,7 +93,9 @@ func TestStreamSinkSlowSubscriberDoesNotBlock(t *testing.T) {
 func TestStreamSinkOnRun(t *testing.T) {
 	r := NewRun()
 	s := NewStreamSink(16)
+	ring := NewRingSink(16)
 	r.AddSink(s)
+	r.AddSink(ring)
 	r.StartProgress(time.Millisecond)
 	r.Counter("x").Inc()
 	time.Sleep(10 * time.Millisecond)
@@ -109,5 +111,15 @@ func TestStreamSinkOnRun(t *testing.T) {
 	}
 	if _, ok := <-live; ok {
 		t.Fatal("live channel open after Close")
+	}
+
+	// The ring sink saw the identical event stream: same count, same final
+	// event, no scraping needed.
+	if got := len(ring.Events()); got != len(history) {
+		t.Fatalf("ring events = %d, stream history = %d", got, len(history))
+	}
+	last, ok := ring.LastEvent()
+	if !ok || !last.Final || last.Counters["x"] != 1 {
+		t.Fatalf("ring final event = %+v, want final with x=1", last)
 	}
 }

@@ -84,9 +84,10 @@ type jobRun struct {
 
 // Scheduler owns the job queue and the worker pool.
 type Scheduler struct {
-	cfg   SchedulerConfig
-	store *Store
-	obs   *obs.Run // daemon-level run (queue gauges, job counters)
+	cfg    SchedulerConfig
+	store  *Store
+	obs    *obs.Run    // daemon-level run (queue gauges, job counters)
+	router *obs.Router // telemetry router: daemon run + live job runs
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -112,14 +113,22 @@ type Scheduler struct {
 
 // NewScheduler builds a scheduler over the store; run (nilable) receives
 // the daemon-level metrics. Call Start to launch the worker pool.
+//
+// The scheduler also owns the daemon's telemetry router (see Router): the
+// daemon run is its process-level collector, every live job's run is
+// attached under the job ID for the duration of the job, and a finished
+// job's counters fold into the fleet totals on detach — so the /metrics
+// exposition carries per-job series for running jobs and monotonic
+// fleet-level rollups across completions.
 func NewScheduler(cfg SchedulerConfig, store *Store, run *obs.Run) *Scheduler {
 	cfg = cfg.withDefaults()
 	s := &Scheduler{
-		cfg:   cfg,
-		store: store,
-		obs:   run,
-		queue: make(chan *Job, cfg.QueueDepth),
-		runs:  map[string]*jobRun{},
+		cfg:    cfg,
+		store:  store,
+		obs:    run,
+		router: obs.NewRouter(),
+		queue:  make(chan *Job, cfg.QueueDepth),
+		runs:   map[string]*jobRun{},
 
 		ctrSubmitted: run.Counter("jobs/submitted"),
 		ctrRejected:  run.Counter("jobs/rejected"),
@@ -129,8 +138,16 @@ func NewScheduler(cfg SchedulerConfig, store *Store, run *obs.Run) *Scheduler {
 		gaugeQueued:  run.Gauge("jobs/queued"),
 		gaugeRunning: run.Gauge("jobs/running"),
 	}
+	s.router.Attach("", run)
 	s.executor = s.execute
 	return s
+}
+
+// Router returns the scheduler's telemetry router. The server mounts its
+// Prometheus handler at /metrics; the daemon attaches push/file sinks and
+// starts the sampling loop when asked to.
+func (s *Scheduler) Router() *obs.Router {
+	return s.router
 }
 
 // Start launches the worker pool.
@@ -187,6 +204,7 @@ func (s *Scheduler) Submit(req JobRequest) (Job, error) {
 	s.queue <- job
 	s.mu.Unlock()
 
+	s.router.Attach(job.ID, jr.run)
 	s.ctrSubmitted.Inc()
 	return snap, nil
 }
@@ -294,8 +312,11 @@ func (s *Scheduler) runJob(job *Job) {
 	report, fuzz, err := s.safeExecute(ctx, job, jr.run)
 
 	// Close flushes the final progress event, which also closes every
-	// events-stream subscriber.
+	// events-stream subscriber. Detaching from the router then folds the
+	// job's final counters into the fleet totals and ends its per-job
+	// /metrics series (bounded label cardinality).
 	jr.run.Close()
+	s.router.Detach(job.ID)
 
 	end := time.Now().UTC()
 	perr := s.store.Update(job.ID, func(j *Job) {
@@ -446,6 +467,7 @@ func (s *Scheduler) Resubmit(id string) error {
 	s.queue <- &Job{ID: id, Request: j.Request}
 	s.mu.Unlock()
 
+	s.router.Attach(id, jr.run)
 	s.obs.Counter("jobs/resumed").Inc()
 	return nil
 }

@@ -27,6 +27,11 @@ func NewServer(sched *Scheduler, store *Store, run *obs.Run) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	// /metrics is the Prometheus text exposition of the scheduler's
+	// telemetry router: fleet-level series (daemon counters plus rollups
+	// across all jobs, completed ones included) and one labeled series set
+	// per running job.
+	s.mux.Handle("GET /metrics", sched.Router().PromHandler())
 	s.mux.HandleFunc("GET /debug/obs", s.handleObs)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)

@@ -1,25 +1,33 @@
-// Command benchdiff compares a freshly written BENCH_*.json against the
-// latest previously committed one and warns when any cell's states_per_sec
-// throughput regressed by more than the threshold. It is the regression
-// tripwire behind `make bench`: the trajectory files already make effort
-// regressions visible as counter diffs, and this makes throughput
-// regressions impossible to commit silently.
+// Command benchdiff compares a freshly written BENCH_*.json against a
+// baseline (by default the latest previously committed one) and reports
+// cells whose throughput regressed beyond a tolerance. It has two modes:
+//
+//   - Default (warn-only): regressions print as "WARN:" lines and the exit
+//     status is always 0 — the historical `make bench` tripwire.
+//   - Gate (-gate): regressions are violations and the exit status is 1.
+//     This is the enforced perf budget behind `make benchgate`: a cell
+//     whose states_per_sec drops, or whose restores_per_state rises, by
+//     more than -max-regress fails the build.
 //
 // Usage:
 //
-//	go run ./internal/tools/benchdiff [-threshold 0.20] [-dir .] NEW_BENCH.json
+//	go run ./internal/tools/benchdiff [-gate] [-max-regress 0.20] \
+//	    [-baseline OLD.json] [-subset] [-dir .] NEW_BENCH.json
 //
 // Cells are matched by (program, fs, mode, workers, representative,
-// incremental); cells present on only one side are reported but never
-// fatal (the trajectory legitimately grows cells). Warnings go to stdout
-// prefixed "WARN:"; the exit status is always 0 — wall-clock throughput is
-// machine-dependent, so the gate informs, it does not block.
+// incremental). In gate mode a baseline cell missing from the new run is a
+// violation — unless -subset declares the new run as an intentional subset
+// (the fast benchgate cell set), in which case only cells present on both
+// sides are compared. New cells are never violations: the trajectory
+// legitimately grows. Exit codes: 0 pass, 1 gate violation, 2 usage or I/O
+// error.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -29,14 +37,15 @@ import (
 // compares on; decoding only these keeps the tool independent of the full
 // record shape.
 type benchRecord struct {
-	Program        string  `json:"program"`
-	FS             string  `json:"fs"`
-	Mode           string  `json:"mode"`
-	Workers        int     `json:"workers"`
-	Representative bool    `json:"representative"`
-	Incremental    bool    `json:"incremental"`
-	StatesPerSec   float64 `json:"states_per_sec"`
-	Err            string  `json:"error"`
+	Program          string  `json:"program"`
+	FS               string  `json:"fs"`
+	Mode             string  `json:"mode"`
+	Workers          int     `json:"workers"`
+	Representative   bool    `json:"representative"`
+	Incremental      bool    `json:"incremental"`
+	StatesPerSec     float64 `json:"states_per_sec"`
+	RestoresPerState float64 `json:"restores_per_state"`
+	Err              string  `json:"error"`
 }
 
 // benchSummary mirrors the BENCH_*.json document envelope.
@@ -45,61 +54,139 @@ type benchSummary struct {
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 0.20, "relative states_per_sec drop that triggers a warning")
-	dir := flag.String("dir", ".", "directory holding the committed BENCH_*.json trajectory")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.20] [-dir .] NEW_BENCH.json")
-		os.Exit(2)
-	}
-	newPath := flag.Arg(0)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	prevPath, err := latestOther(*dir, newPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(1)
+// run is main with its environment abstracted: argv after the program
+// name, the two output streams, and the exit code as the return value.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var maxRegress float64
+	fs.Float64Var(&maxRegress, "max-regress", 0.20, "relative regression that triggers a warning or gate violation")
+	fs.Float64Var(&maxRegress, "threshold", 0.20, "alias for -max-regress")
+	dir := fs.String("dir", ".", "directory holding the committed BENCH_*.json trajectory")
+	gate := fs.Bool("gate", false, "enforce: exit 1 on any regression beyond -max-regress")
+	baseline := fs.String("baseline", "", "compare against this file instead of the latest BENCH_*.json in -dir")
+	subset := fs.String("subset", "", "declare the new run as an intentional cell subset (e.g. \"fast\"): baseline cells it omits are not violations")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-gate] [-max-regress 0.20] [-baseline OLD.json] [-subset NAME] [-dir .] NEW_BENCH.json")
+		return 2
+	}
+	if maxRegress < 0 {
+		fmt.Fprintf(stderr, "benchdiff: -max-regress must be >= 0, got %g\n", maxRegress)
+		return 2
+	}
+	newPath := fs.Arg(0)
+
+	prevPath := *baseline
 	if prevPath == "" {
-		fmt.Printf("benchdiff: no previous BENCH_*.json in %s; nothing to compare\n", *dir)
-		return
+		var err error
+		prevPath, err = latestOther(*dir, newPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		if prevPath == "" {
+			fmt.Fprintf(stdout, "benchdiff: no previous BENCH_*.json in %s; nothing to compare\n", *dir)
+			return 0
+		}
 	}
 
 	prev, err := load(prevPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
 	}
 	cur, err := load(newPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
 	}
 
-	fmt.Printf("benchdiff: %s vs %s (threshold %.0f%%)\n", filepath.Base(newPath), filepath.Base(prevPath), *threshold*100)
-	warned := 0
-	for key, p := range prev {
+	mode := "warn"
+	if *gate {
+		mode = "gate"
+	}
+	fmt.Fprintf(stdout, "benchdiff: %s vs %s (%s, tolerance %.0f%%)\n", filepath.Base(newPath), filepath.Base(prevPath), mode, maxRegress*100)
+
+	// Deterministic report order regardless of map iteration.
+	keys := make([]string, 0, len(prev))
+	for key := range prev {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	violations := 0
+	report := func(format string, args ...any) {
+		prefix := "WARN"
+		if *gate {
+			prefix = "FAIL"
+		}
+		fmt.Fprintf(stdout, prefix+": "+format+"\n", args...)
+		violations++
+	}
+	for _, key := range keys {
+		p := prev[key]
 		c, ok := cur[key]
 		if !ok {
-			fmt.Printf("note: cell %s dropped from the trajectory\n", key)
+			if *subset != "" {
+				fmt.Fprintf(stdout, "note: cell %s not in the %q subset\n", key, *subset)
+			} else if *gate {
+				report("cell %s missing from the new run", key)
+			} else {
+				fmt.Fprintf(stdout, "note: cell %s dropped from the trajectory\n", key)
+			}
 			continue
 		}
-		if p.Err != "" || c.Err != "" || p.StatesPerSec <= 0 {
+		if p.Err != "" {
 			continue
 		}
-		rel := (c.StatesPerSec - p.StatesPerSec) / p.StatesPerSec
-		if rel < -*threshold {
-			fmt.Printf("WARN: %s states_per_sec %.0f -> %.0f (%.0f%%)\n", key, p.StatesPerSec, c.StatesPerSec, rel*100)
-			warned++
+		if c.Err != "" {
+			if *gate {
+				report("cell %s now errors: %s", key, c.Err)
+			}
+			continue
+		}
+		if p.StatesPerSec > 0 {
+			rel := (c.StatesPerSec - p.StatesPerSec) / p.StatesPerSec
+			if rel < -maxRegress {
+				report("%s states_per_sec %.0f -> %.0f (%.0f%%)", key, p.StatesPerSec, c.StatesPerSec, rel*100)
+			}
+		}
+		// restores_per_state is an efficiency budget: more restores charged
+		// per covered state means the O(delta) reconstruction got lazier, so
+		// an *increase* beyond tolerance is the violation.
+		if p.RestoresPerState > 0 {
+			rel := (c.RestoresPerState - p.RestoresPerState) / p.RestoresPerState
+			if rel > maxRegress {
+				report("%s restores_per_state %.3f -> %.3f (+%.0f%%)", key, p.RestoresPerState, c.RestoresPerState, rel*100)
+			}
 		}
 	}
+	curKeys := make([]string, 0, len(cur))
 	for key := range cur {
 		if _, ok := prev[key]; !ok {
-			fmt.Printf("note: new cell %s\n", key)
+			curKeys = append(curKeys, key)
 		}
 	}
-	if warned == 0 {
-		fmt.Println("benchdiff: no cell regressed beyond the threshold")
+	sort.Strings(curKeys)
+	for _, key := range curKeys {
+		fmt.Fprintf(stdout, "note: new cell %s\n", key)
 	}
+
+	if violations == 0 {
+		fmt.Fprintln(stdout, "benchdiff: no cell regressed beyond the tolerance")
+		return 0
+	}
+	if *gate {
+		fmt.Fprintf(stdout, "benchdiff: %d gate violation(s)\n", violations)
+		return 1
+	}
+	return 0
 }
 
 // load reads a BENCH_*.json and indexes its records by cell identity.
