@@ -22,8 +22,11 @@ fmtcheck:
 
 # Fail when any package misses a package comment or any exported
 # identifier is undocumented (the godoc coverage gate).
+# Documentation gates: godoc coverage, plus docs/API.md kept in lockstep
+# with the routes actually registered on the serve mux (both directions).
 doclint:
 	$(GO) run ./internal/tools/doclint .
+	$(GO) run ./internal/tools/routedoc .
 
 test:
 	$(GO) test ./...

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +35,7 @@ import (
 	"paracrash/internal/fuzzcamp"
 	"paracrash/internal/obs"
 	core "paracrash/internal/paracrash"
+	"paracrash/internal/serve"
 	"paracrash/internal/workloads"
 )
 
@@ -161,6 +163,17 @@ func main() {
 			for _, c := range closers {
 				_ = c()
 			}
+			if err != nil {
+				fatal(err)
+			}
+			// The fleet cell: coordinator + workers + tenants stormed through
+			// the HTTP API by the load generator. The fast subset keeps the
+			// storm small so `make benchgate` stays quick.
+			fleetCfg := serve.FleetBenchConfig{Workers: 3, Tenants: 2, Shards: 2, Jobs: 24, Concurrency: 8}
+			if *benchCells == "fast" {
+				fleetCfg.Jobs, fleetCfg.Concurrency = 12, 6
+			}
+			sum.Fleet, err = serve.BenchFleet(context.Background(), fleetCfg)
 			if err != nil {
 				fatal(err)
 			}

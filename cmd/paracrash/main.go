@@ -53,6 +53,8 @@ func main() {
 		noInc          = flag.Bool("no-incremental", false, "rebuild every crash state with a full restore and replay (same as -incremental=false)")
 
 		remote = flag.String("remote", "", "submit the run as a job to a paracrashd at this address (e.g. localhost:7077) instead of exploring locally")
+		apiKey = flag.String("api-key", "", "API key for a multi-tenant paracrashd (with -remote); also honours the PARACRASH_API_KEY environment variable")
+		shards = flag.Int("shards", 0, "with -remote: ask the daemon to split this job across its worker fleet into this many shards (0 = daemon default)")
 
 		retries      = flag.Int("retries", 0, "max attempts per crash-state check before quarantining it (0 = default 3)")
 		retryBackoff = flag.Duration("retry-backoff", 0, "base backoff between check retries (0 = default 2ms)")
@@ -134,15 +136,25 @@ func main() {
 	prog, err := exps.ProgramByName(*progName)
 	fatalIf(err)
 
+	if *shards < 0 {
+		fatalIf(fmt.Errorf("-shards must be >= 0, got %d", *shards))
+	}
+	if *remote == "" && (*shards > 0 || *apiKey != "") {
+		fatalIf(fmt.Errorf("-shards and -api-key only apply with -remote"))
+	}
 	if *remote != "" {
 		if *dumpPath != "" || *servers > 0 || *stripe > 0 || *resumePath != "" || *faultRate > 0 {
 			fatalIf(fmt.Errorf("-dump-trace, -servers, -stripe, -resume and -fault-rate are local-only and cannot combine with -remote"))
 		}
-		os.Exit(runRemote(*remote, serve.JobRequest{
+		key := *apiKey
+		if key == "" {
+			key = os.Getenv("PARACRASH_API_KEY")
+		}
+		os.Exit(runRemote(*remote, key, serve.JobRequest{
 			Kind: serve.JobKindExplore,
 			FS:   *fsName, Program: *progName, Mode: *mode,
 			PFSModel: *pfsModel, LibModel: *libModel,
-			K: *k, Workers: *workers,
+			K: *k, Workers: *workers, Shards: *shards,
 			Clients: *clients, Rows: *rows, Cols: *cols,
 			ResizeRows: *rrows, ResizeCols: *rcols,
 			Representative: &repOn,

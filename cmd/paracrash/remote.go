@@ -13,17 +13,33 @@ import (
 	"paracrash/internal/serve"
 )
 
+// doRequest issues one HTTP request against the daemon, attaching the
+// tenant API key (if any) as an X-API-Key header.
+func doRequest(method, url, apiKey string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if apiKey != "" {
+		req.Header.Set("X-API-Key", apiKey)
+	}
+	return http.DefaultClient.Do(req)
+}
+
 // runRemote submits the request to a paracrashd instance, streams the
 // job's progress events to stderr, and prints the finished job's report —
 // the same output a local run would give. Returns the process exit code.
-func runRemote(addr string, req serve.JobRequest, jsonOut, verbose bool) int {
+func runRemote(addr, apiKey string, req serve.JobRequest, jsonOut, verbose bool) int {
 	base := "http://" + addr
 	body, err := json.Marshal(req)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paracrash:", err)
 		return 2
 	}
-	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	resp, err := doRequest(http.MethodPost, base+"/v1/jobs", apiKey, bytes.NewReader(body))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paracrash: submit:", err)
 		return 2
@@ -41,9 +57,9 @@ func runRemote(addr string, req serve.JobRequest, jsonOut, verbose bool) int {
 	}
 	fmt.Fprintf(os.Stderr, "paracrash: submitted job %s to %s\n", job.ID, addr)
 
-	streamEvents(base, job.ID)
+	streamEvents(base, apiKey, job.ID)
 
-	job, ok := waitTerminal(base, job.ID)
+	job, ok := waitTerminal(base, apiKey, job.ID)
 	if !ok {
 		return 2
 	}
@@ -93,8 +109,8 @@ func runRemote(addr string, req serve.JobRequest, jsonOut, verbose bool) int {
 // streamEvents relays the job's NDJSON progress stream to stderr until the
 // daemon closes it (the job reached a terminal state). Stream errors are
 // non-fatal: the result poll below is the source of truth.
-func streamEvents(base, id string) {
-	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+func streamEvents(base, apiKey, id string) {
+	resp, err := doRequest(http.MethodGet, base+"/v1/jobs/"+id+"/events", apiKey, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paracrash: event stream:", err)
 		return
@@ -111,9 +127,9 @@ func streamEvents(base, id string) {
 }
 
 // waitTerminal polls the job until it reaches a terminal state.
-func waitTerminal(base, id string) (serve.Job, bool) {
+func waitTerminal(base, apiKey, id string) (serve.Job, bool) {
 	for {
-		resp, err := http.Get(base + "/v1/jobs/" + id)
+		resp, err := doRequest(http.MethodGet, base+"/v1/jobs/"+id, apiKey, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paracrash: poll:", err)
 			return serve.Job{}, false

@@ -15,6 +15,20 @@
 // On SIGINT/SIGTERM the daemon drains: new submissions are rejected with
 // 503 while in-flight jobs run to completion (bounded by -drain-timeout,
 // after which they are cancelled), then the process exits.
+//
+// Fleet mode splits the daemon into roles sharing one results directory
+// (any shared file system works — no RPC fabric needed):
+//
+//	paracrashd -role coordinator -results /pfs/results -shards 4
+//	paracrashd -role worker -results /pfs/results -worker-id w1
+//	paracrashd -role worker -results /pfs/results -worker-id w2
+//
+// The coordinator partitions explore jobs into shards; workers claim
+// shards via leases, judge them (journaling verdicts so a dead worker's
+// shard resumes where it stopped), and the coordinator merges the results
+// into the byte-identical standalone report. -tenants arms multi-tenant
+// authentication, quotas, rate limits and priority scheduling; see
+// docs/OPERATIONS.md.
 package main
 
 import (
@@ -42,6 +56,16 @@ func main() {
 		maxWorkers   = flag.Int("max-job-workers", 0, "cap on one job's exploration workers (0 = no cap)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs before cancelling them")
 		sinkInterval = flag.Duration("sink-interval", 10*time.Second, "telemetry sampling interval for -sink fan-out")
+
+		role      = flag.String("role", "standalone", "process role: standalone, coordinator (shard explore jobs across workers) or worker (claim and judge shards)")
+		shards    = flag.Int("shards", 0, "coordinator: default shard count per explore job (a job may request its own; < 2 runs in-process)")
+		maxShards = flag.Int("max-shards", 16, "coordinator: cap on any job's requested shard count")
+		fleetPoll = flag.Duration("fleet-poll", 0, "fleet poll cadence: coordinator result scan / worker task scan (0 = role default)")
+		leaseTTL  = flag.Duration("lease-ttl", 3*time.Second, "worker: shard lease time-to-live; a dead worker's shard is reclaimed after at most this long")
+		heartbeat = flag.Duration("heartbeat", 0, "worker: lease renewal cadence (0 = lease-ttl/3)")
+		workerID  = flag.String("worker-id", "", "worker: identity in leases and shard results (default worker-<pid>)")
+
+		tenantsPath = flag.String("tenants", "", "tenant configuration file (JSON); arms API keys, quotas, rate limits and priority scheduling")
 	)
 	var sinkSpecs obs.SinkSpecList
 	flag.Var(&sinkSpecs, "sink", "attach a telemetry sink (repeatable): stdout, stderr, jsonl:PATH, push:URL")
@@ -60,20 +84,53 @@ func main() {
 	if len(sinkSpecs) > 0 && *sinkInterval <= 0 {
 		fatalf("-sink-interval must be > 0 when sinks are attached, got %v", *sinkInterval)
 	}
+	if *shards < 0 || *maxShards < 1 {
+		fatalf("-shards must be >= 0 and -max-shards >= 1 (got %d, %d)", *shards, *maxShards)
+	}
+	if *leaseTTL <= 0 || *heartbeat < 0 || *fleetPoll < 0 {
+		fatalf("-lease-ttl must be > 0; -heartbeat and -fleet-poll must be >= 0")
+	}
+
+	if *role == "worker" {
+		runWorker(*resultsDir, *workerID, *leaseTTL, *heartbeat, *fleetPoll, sinkSpecs, *sinkInterval)
+		return
+	}
+	if *role != "standalone" && *role != "coordinator" {
+		fatalf("unknown -role %q (want standalone, coordinator or worker)", *role)
+	}
+
+	var tenants *serve.Tenants
+	if *tenantsPath != "" {
+		var terr error
+		tenants, terr = serve.LoadTenants(*tenantsPath)
+		if terr != nil {
+			fatalf("%v", terr)
+		}
+		fmt.Fprintf(os.Stderr, "paracrashd: multi-tenancy on (%d tenants)\n", len(tenants.Names()))
+	}
 
 	store, warns := serve.OpenStore(*resultsDir)
 	for _, w := range warns {
 		fmt.Fprintln(os.Stderr, "paracrashd: warning:", w)
 	}
 
-	run := obs.NewRun()
-	sched := serve.NewScheduler(serve.SchedulerConfig{
+	cfg := serve.SchedulerConfig{
 		MaxConcurrent:  *maxJobs,
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *jobTimeout,
 		MaxTimeout:     *maxTimeout,
 		MaxJobWorkers:  *maxWorkers,
-	}, store, run)
+		Tenants:        tenants,
+	}
+	if *role == "coordinator" {
+		if *resultsDir == "" {
+			fatalf("-role coordinator requires -results (the shared fleet directory)")
+		}
+		cfg.Fleet = &serve.FleetConfig{Shards: *shards, MaxShards: *maxShards, Poll: *fleetPoll}
+	}
+
+	run := obs.NewRun()
+	sched := serve.NewScheduler(cfg, store, run)
 
 	// Telemetry fan-out: the scheduler's router already aggregates the
 	// daemon run and every live job; -sink attaches push-style outputs and
@@ -110,8 +167,8 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 
 	loaded := len(store.List())
-	fmt.Fprintf(os.Stderr, "paracrashd: listening on %s (results=%q, %d persisted jobs loaded, %d slots, queue %d, /metrics exposed)\n",
-		*addr, *resultsDir, loaded, *maxJobs, *queueDepth)
+	fmt.Fprintf(os.Stderr, "paracrashd: %s listening on %s (results=%q, %d persisted jobs loaded, %d slots, queue %d, /metrics exposed)\n",
+		*role, *addr, *resultsDir, loaded, *maxJobs, *queueDepth)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -133,6 +190,45 @@ func main() {
 	defer cancel2()
 	_ = srv.Shutdown(shutCtx)
 	fmt.Fprintln(os.Stderr, "paracrashd: stopped")
+}
+
+// runWorker is the -role worker main loop: claim shard leases in the
+// shared directory, judge shards, write results, until SIGINT/SIGTERM.
+func runWorker(dir, id string, leaseTTL, heartbeat, poll time.Duration, sinkSpecs obs.SinkSpecList, sinkInterval time.Duration) {
+	if dir == "" {
+		fatalf("-role worker requires -results (the shared fleet directory)")
+	}
+	run := obs.NewRun()
+	w, err := serve.NewFleetWorker(serve.FleetWorkerConfig{
+		Dir: dir, ID: id,
+		LeaseTTL: leaseTTL, Heartbeat: heartbeat, Poll: poll,
+		Obs: run,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(sinkSpecs) > 0 {
+		router := obs.NewRouter()
+		router.Attach("", run)
+		for _, spec := range sinkSpecs {
+			sink, closer, err := obs.ParseSinkSpec(spec)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			router.AddSink(sink)
+			defer func() { _ = closer() }()
+		}
+		router.Start(sinkInterval)
+		defer router.Close()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "paracrashd: worker %s scanning %s (lease-ttl %v)\n", w.ID(), dir, leaseTTL)
+	_ = w.Run(ctx)
+	// A signal cancels the loop mid-shard at worst: the lease is released (or
+	// expires) and another worker resumes the shard from its journal.
+	fmt.Fprintf(os.Stderr, "paracrashd: worker %s stopped\n", w.ID())
 }
 
 func fatalf(format string, args ...any) {

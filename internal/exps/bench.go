@@ -46,10 +46,44 @@ type BenchRecord struct {
 	Err              string          `json:"error,omitempty"`
 }
 
+// FleetBenchRecord is the fleet cell of the BENCH_*.json trajectory: a
+// coordinator + N workers + M tenants storm driven end to end through the
+// HTTP API by the load generator (internal/serve.RunLoad). It measures the
+// service path — admission control, fair scheduling, shard dispatch, lease
+// claims and the merge — where BenchRecord measures the bare engine.
+type FleetBenchRecord struct {
+	// Workers is the fleet's worker-process count; Tenants the number of
+	// distinct API keys the load rotates through; Shards the partition
+	// width each job requests.
+	Workers int `json:"workers"`
+	Tenants int `json:"tenants"`
+	Shards  int `json:"shards"`
+	// Jobs/Concurrency describe the storm; Done/Failed/Rejected its
+	// outcome (Rejected counts retried 429 pushback, not failures).
+	Jobs        int `json:"jobs"`
+	Concurrency int `json:"concurrency"`
+	Done        int `json:"done"`
+	Failed      int `json:"failed"`
+	Rejected    int `json:"rejected"`
+	// Seconds is the storm's wall clock; JobsPerSec the headline
+	// throughput the benchgate budgets.
+	Seconds    float64 `json:"seconds"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// P50/P95/P99 are submit-to-terminal latency percentiles in seconds.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Err string  `json:"error,omitempty"`
+}
+
 // BenchSummary is the whole BENCH_*.json document.
 type BenchSummary struct {
 	GeneratedAt time.Time     `json:"generated_at"`
 	Records     []BenchRecord `json:"records"`
+	// Fleet is the coordinator/worker/tenant throughput cell, filled by
+	// callers with access to the service layer (cmd/experiments wires
+	// serve.BenchFleet in); older trajectory files simply omit it.
+	Fleet *FleetBenchRecord `json:"fleet,omitempty"`
 }
 
 // benchCell is one row of the fixed benchmark trajectory.

@@ -132,6 +132,44 @@ func RunOne(fsName string, prog Program, opts paracrash.Options, h5p workloads.H
 // RunOneContext is RunOne with cancellation, for callers that bound a
 // cell's wall time (the job daemon's per-job timeouts).
 func RunOneContext(ctx context.Context, fsName string, prog Program, opts paracrash.Options, h5p workloads.H5Params, conf pfs.Config) (*paracrash.Report, error) {
+	fs, err := cellFS(fsName, prog, conf)
+	if err != nil {
+		return nil, err
+	}
+	w, lib := prog.Make(h5p)
+	return paracrash.RunContext(ctx, fs, lib, w, opts)
+}
+
+// RunOneShardContext judges one shard of a cell's crash-state space — the
+// fleet worker's entry point. The cell stack (placement hints, backend
+// config, workload construction) is built exactly as RunOneContext builds
+// it, which is what keeps the generation order, and with it the shard
+// partition, identical across worker processes.
+func RunOneShardContext(ctx context.Context, fsName string, prog Program, opts paracrash.Options, h5p workloads.H5Params, conf pfs.Config, shard paracrash.ShardSpec) (*paracrash.ShardReport, error) {
+	fs, err := cellFS(fsName, prog, conf)
+	if err != nil {
+		return nil, err
+	}
+	w, lib := prog.Make(h5p)
+	return paracrash.RunShard(ctx, fs, lib, w, opts, shard)
+}
+
+// MergeOneShardsContext merges a cell's shard reports into the full report —
+// the fleet coordinator's entry point, byte-identical (ReportFingerprint)
+// to RunOneContext with the same arguments.
+func MergeOneShardsContext(ctx context.Context, fsName string, prog Program, opts paracrash.Options, h5p workloads.H5Params, conf pfs.Config, shards []*paracrash.ShardReport) (*paracrash.Report, error) {
+	fs, err := cellFS(fsName, prog, conf)
+	if err != nil {
+		return nil, err
+	}
+	w, lib := prog.Make(h5p)
+	return paracrash.MergeShards(ctx, fs, lib, w, opts, shards)
+}
+
+// cellFS builds one cell's file-system stack: the program's placement hints
+// overlaid on the backend config. Placement hints do not apply to GlusterFS
+// (its striped volume always places the first stripe on the first brick).
+func cellFS(fsName string, prog Program, conf pfs.Config) (pfs.FileSystem, error) {
 	placement := prog.Placement
 	if fsName == "glusterfs" {
 		placement = prog.GlusterPlacement
@@ -144,12 +182,7 @@ func RunOneContext(ctx context.Context, fsName string, prog Program, opts paracr
 			conf.FilePlacement[k] = v
 		}
 	}
-	fs, err := NewFS(fsName, conf, trace.NewRecorder())
-	if err != nil {
-		return nil, err
-	}
-	w, lib := prog.Make(h5p)
-	return paracrash.RunContext(ctx, fs, lib, w, opts)
+	return NewFS(fsName, conf, trace.NewRecorder())
 }
 
 // Cell is one Figure 8 matrix entry.

@@ -520,10 +520,16 @@ func Run(fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, err
 // surviving run visits, so an uncancelled RunContext is byte-identical to
 // Run.
 func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload, opts Options) (*Report, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	start := time.Now()
+	return runPipeline(ctx, fs, lib, w, opts, nil)
+}
+
+// prepare runs phases 0–2 of the pipeline — preamble, traced execution,
+// causality analysis, golden replay — and returns the exploration session.
+// It is shared by the full pipeline (RunContext/MergeShards) and the
+// shard-scoped entry point (RunShard): every caller sees the identical
+// trace, graph, emulator universe and golden states, which is what makes
+// shard keys derived from the generation order stable across processes.
+func prepare(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload, opts Options) (*session, error) {
 	rec := fs.Recorder()
 	if oa, ok := fs.(pfs.ObsAware); ok {
 		// Store-level timings (restore/recover/mount) report to the same
@@ -653,28 +659,75 @@ func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload,
 		s.goldenLib, _ = s.replayLib(allLib)
 	}
 	stopGraph()
+	return s, nil
+}
+
+// resumeCheckpoint loads previously journaled verdicts (if any) for a run
+// whose verdict-relevant configuration fingerprints to config, and arms the
+// session to keep journaling. Callers arrange the exit-path Flush.
+func (s *session) resumeCheckpoint(config string) error {
+	stopResume := s.opts.Obs.Phase(obs.PhaseResume)
+	defer stopResume()
+	resumed, err := s.opts.Checkpoint.resume(config)
+	if err != nil {
+		return fmt.Errorf("paracrash: resume: %w", err)
+	}
+	s.resumed = resumed
+	s.ckpt = s.opts.Checkpoint
+	s.opts.Obs.Counter("resume/verdicts").Add(int64(len(resumed)))
+	s.opts.Obs.Counter("resume/warnings").Add(int64(len(s.opts.Checkpoint.Warnings())))
+	return nil
+}
+
+// emulatorConfig materialises the crash-emulation bounds for phase 3,
+// including the semantic-pruning victim filter. Shard workers and the merge
+// must build the identical configuration: it decides which crash states are
+// generated, and with them the generation order the shard keys index.
+func (o Options) emulatorConfig() EmulatorConfig {
+	emuCfg := o.Emulator
+	if o.Mode != ModeBrute && !o.DisableSemanticPruning {
+		emuCfg.VictimFilter = func(op *trace.Op) bool {
+			// Semantic pruning: data-chunk updates of library datasets are
+			// not reordered (paper §5.3).
+			return !strings.HasPrefix(op.Tag, "h5:data")
+		}
+	}
+	return emuCfg
+}
+
+// runPipeline is the full exploration pipeline behind RunContext and
+// MergeShards. lookup, when non-nil, resolves crash-state keys to verdicts
+// precomputed elsewhere (shard workers of a fleet run); the pipeline then
+// replays the exact serial walk — same visiting order, pruning, class
+// attribution and charging — satisfying checks from the lookup and
+// computing only what it misses, so the report stays byte-identical to a
+// standalone run. A non-nil lookup forces the serial engine: the in-process
+// parallel workers would race the external verdicts for the same states.
+func runPipeline(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload, opts Options, lookup func(string) (checkResult, bool)) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	s, err := prepare(ctx, fs, lib, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	g, emu, initial := s.g, s.emu, s.initial
 
 	// Checkpoint/resume: load previously journaled verdicts (if any) and
 	// keep journaling from here on. The journal is flushed on every exit
 	// path — success, failure and cancellation alike.
 	if opts.Checkpoint != nil {
-		stopResume := opts.Obs.Phase(obs.PhaseResume)
-		resumed, err := opts.Checkpoint.resume(checkpointConfig(w.Name(), fs.Name(), opts))
-		if err != nil {
-			stopResume()
-			return nil, fmt.Errorf("paracrash: resume: %w", err)
+		if err := s.resumeCheckpoint(checkpointConfig(w.Name(), fs.Name(), opts)); err != nil {
+			return nil, err
 		}
-		s.resumed = resumed
-		s.ckpt = opts.Checkpoint
-		opts.Obs.Counter("resume/verdicts").Add(int64(len(resumed)))
-		opts.Obs.Counter("resume/warnings").Add(int64(len(opts.Checkpoint.Warnings())))
-		stopResume()
 		defer func() {
 			if err := opts.Checkpoint.Flush(); err != nil {
 				opts.Obs.Counter("checkpoint/flush-errors").Inc()
 			}
 		}()
 	}
+	s.outcomeFor = lookup
 
 	// Prime the cluster for incremental exploration: the golden replay left
 	// re-executed content on the live stores — including on servers the
@@ -690,14 +743,7 @@ func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload,
 	}
 
 	// Phase 3: crash emulation + checking.
-	emuCfg := opts.Emulator
-	if opts.Mode != ModeBrute && !opts.DisableSemanticPruning {
-		emuCfg.VictimFilter = func(o *trace.Op) bool {
-			// Semantic pruning: data-chunk updates of library datasets are
-			// not reordered (paper §5.3).
-			return !strings.HasPrefix(o.Tag, "h5:data")
-		}
-	}
+	emuCfg := opts.emulatorConfig()
 
 	report := &Report{Program: w.Name(), FS: fs.Name(), Mode: opts.Mode}
 	bugs := NewBugSet()
@@ -770,7 +816,7 @@ func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload,
 
 	workers := opts.effectiveWorkers()
 	cloner, _ := fs.(pfs.Cloner)
-	parallel := workers > 1 && cloner != nil
+	parallel := workers > 1 && cloner != nil && lookup == nil
 
 	if opts.Mode == ModeOptimized || parallel {
 		// Collect states first: the optimized mode orders them with a
@@ -787,6 +833,12 @@ func RunContext(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload,
 		switch {
 		case parallel && len(states) > 1:
 			s.runParallel(states, cloner, workers, skip, handle, bugs)
+		case opts.Mode == ModeOptimized && lookup != nil && !s.incremental():
+			// External verdicts under the legacy optimized engine: replay the
+			// serial TSP walk with arithmetic charging, resolving verdicts
+			// through the lookup — the same merge pass the in-process parallel
+			// engine runs over its result board.
+			s.mergeOptimized(states, skip, handle)
 		case opts.Mode == ModeOptimized:
 			s.runOptimized(states, skip, handle)
 		default:

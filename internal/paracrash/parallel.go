@@ -294,7 +294,7 @@ func (s *session) runParallel(states []CrashState, cloner pfs.Cloner, workers in
 		// accounting pass is needed.
 		s.visitOrdered(states, skip, handle)
 	} else if s.opts.Mode == ModeOptimized {
-		s.mergeOptimized(states, board, skip, handle)
+		s.mergeOptimized(states, skip, handle)
 	} else {
 		for _, cs := range states {
 			if s.ctx.Err() != nil {
@@ -456,6 +456,9 @@ func (ws *session) exploreShardOptimized(states []CrashState, ids []int, bugs *B
 		r, ok := ws.resumed[stateKey(cs)]
 		if !ok {
 			r = ws.optimizedCheck(cs, sigs[k], procs, serverOps, phys)
+			// In-process workers carry no checkpoint (the merge journals);
+			// a fleet shard run owns its journal and records here.
+			ws.journal(stateKey(cs), r)
 		}
 		ws.recordClass(ckey, r)
 		board.publish(ids[k], r)
@@ -467,9 +470,10 @@ func (ws *session) exploreShardOptimized(states []CrashState, ids []int, bugs *B
 // mergeOptimized replays the serial optimized walk — same global TSP order,
 // same pruning, same cache discipline — but reconstructs nothing: the
 // incremental restore/replay work is charged arithmetically and verdicts
-// come from the board (with a local fallback when a worker skipped the
-// state speculatively).
-func (s *session) mergeOptimized(states []CrashState, board *resultBoard, skip func(CrashState) bool, handle func(CrashState)) {
+// come from s.outcomeFor (the in-process result board, or a fleet run's
+// shard-report lookup), with a local fallback when no verdict was published
+// (a worker skipped the state speculatively).
+func (s *session) mergeOptimized(states []CrashState, skip func(CrashState) bool, handle func(CrashState)) {
 	procs, serverOps := s.emu.serverProcs()
 	sigs := stateSigs(states, procs, serverOps)
 	order := exploreOrder(len(states), len(procs), sigs, s.opts.DisableTSP)
@@ -529,8 +533,8 @@ func (s *session) mergeOptimized(states []CrashState, board *resultBoard, skip f
 				s.checkCache[key] = res
 				s.recordClass(ckey, res)
 			} else {
-				res, fromBoard := board.await(idx)
-				if !fromBoard {
+				res, published := s.outcomeFor(key)
+				if !published {
 					res = s.computeScratch(cs) // counts its own quarantines
 				} else if res.skipped {
 					s.ctrSkipped.Inc()

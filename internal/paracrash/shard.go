@@ -1,0 +1,276 @@
+// Shard-scoped exploration: the cross-process half of the fleet design.
+// A coordinator partitions one run's crash-state space into Count shards by
+// dealing the deterministic generation order round-robin (the same dealing
+// shardStates uses in-process), hands each shard to a worker process, and
+// merges the shard reports back into the byte-identical serial report.
+//
+// RunShard is the worker side: it rebuilds the full analysis state (trace,
+// causality graph, emulator universe, golden states — prepare is pure per
+// configuration, so every process derives the identical generation order),
+// judges only the states whose generation index falls in its shard, and
+// returns their verdicts in a serializable ShardReport. Workers never prune
+// speculatively — a worker process has no view of the merge's BugSet, so it
+// judges every state it owns; the merge prunes, exactly as the in-process
+// parallel engine's merge pass does for speculatively skipped states.
+//
+// MergeShards is the coordinator side: it validates that the shard reports
+// cover the partition and were produced under the same verdict-relevant
+// configuration, then replays the full serial pipeline resolving checks
+// through the collected verdicts (the outcomeFor seam the in-process merge
+// already uses), computing locally only what no shard judged (classifier
+// probes outside the generated set). The resulting report is byte-identical
+// to RunContext — same Stats, same state keys, same bug set — which is what
+// lets a fleet run stand in for a standalone one.
+package paracrash
+
+import (
+	"context"
+	"fmt"
+
+	"paracrash/internal/obs"
+	"paracrash/internal/pfs"
+)
+
+// ShardSpec selects one shard of a partitioned crash-state space: the
+// states whose generation index i satisfies i % Count == Index.
+type ShardSpec struct {
+	// Index is this shard's position, 0 <= Index < Count.
+	Index int `json:"index"`
+	// Count is the total number of shards in the partition.
+	Count int `json:"count"`
+}
+
+// String renders the spec as "index/count".
+func (sp ShardSpec) String() string { return fmt.Sprintf("%d/%d", sp.Index, sp.Count) }
+
+// Validate reports whether the spec denotes a real shard.
+func (sp ShardSpec) Validate() error {
+	if sp.Count < 1 {
+		return fmt.Errorf("paracrash: shard count %d < 1", sp.Count)
+	}
+	if sp.Index < 0 || sp.Index >= sp.Count {
+		return fmt.Errorf("paracrash: shard index %d outside [0,%d)", sp.Index, sp.Count)
+	}
+	return nil
+}
+
+// suffix is the shard's checkpoint-fingerprint extension: a shard journal
+// resumes only into the same shard of the same partition.
+func (sp ShardSpec) suffix() string { return fmt.Sprintf("|shard=%d/%d", sp.Index, sp.Count) }
+
+// indices returns the generation indices this shard owns out of n states —
+// the round-robin dealing shardStates uses, expressed per shard.
+func (sp ShardSpec) indices(n int) []int {
+	var ids []int
+	for i := sp.Index; i < n; i += sp.Count {
+		ids = append(ids, i)
+	}
+	return ids
+}
+
+// Verdict is one crash-state verdict in wire form: checkResult plus the
+// state's front|keep key, serializable so worker processes can ship their
+// judgements to the coordinator through the store.
+type Verdict struct {
+	// Key is the crash state's front|keep identity (the check-cache key).
+	Key         string `json:"key"`
+	Consistent  bool   `json:"consistent,omitempty"`
+	Layer       string `json:"layer,omitempty"`
+	Consequence string `json:"consequence,omitempty"`
+	State       string `json:"state,omitempty"`
+	PFSLegalN   int    `json:"pfs_legal_n,omitempty"`
+	LibLegalN   int    `json:"lib_legal_n,omitempty"`
+	// Skipped marks a quarantined state (every attempt faulted); Consequence
+	// then holds the quarantine reason. Skipped verdicts ride along so the
+	// merge reports the state under Report.Skipped instead of re-attempting
+	// a reconstruction the worker already proved poisoned.
+	Skipped bool `json:"skipped,omitempty"`
+}
+
+// newVerdict converts an engine verdict to wire form.
+func newVerdict(key string, r checkResult) Verdict {
+	return Verdict{
+		Key:         key,
+		Consistent:  r.consistent,
+		Layer:       r.layer,
+		Consequence: r.consequence,
+		State:       r.state,
+		PFSLegalN:   r.pfsLegalN,
+		LibLegalN:   r.libLegalN,
+		Skipped:     r.skipped,
+	}
+}
+
+// result converts a wire verdict back to the engine's form.
+func (v Verdict) result() checkResult {
+	return checkResult{
+		consistent:  v.Consistent,
+		layer:       v.Layer,
+		consequence: v.Consequence,
+		state:       v.State,
+		pfsLegalN:   v.PFSLegalN,
+		libLegalN:   v.LibLegalN,
+		skipped:     v.Skipped,
+	}
+}
+
+// ShardReport is RunShard's output: every verdict of one shard, plus the
+// provenance MergeShards validates before trusting it.
+type ShardReport struct {
+	// Shard identifies the partition slice these verdicts cover.
+	Shard ShardSpec `json:"shard"`
+	// Config is the verdict-relevant configuration fingerprint of the run
+	// that produced the verdicts (the checkpoint fingerprint). MergeShards
+	// refuses reports whose fingerprint differs from its own options.
+	Config string `json:"config"`
+	// StatesGenerated is the size of the full generated crash-state space
+	// the shard was dealt from; every shard of a partition must agree.
+	StatesGenerated int `json:"states_generated"`
+	// StatesChecked counts the states this shard actually reconstructed and
+	// judged (representative-mode members attribute without reconstruction).
+	// Informational — the merge recomputes all Stats itself.
+	StatesChecked int `json:"states_checked"`
+	// Verdicts holds one entry per owned state, in generation order.
+	Verdicts []Verdict `json:"verdicts"`
+}
+
+// RunShard executes the pipeline for exactly one shard of the crash-state
+// space and returns the shard's verdicts. The preparation phases (preamble,
+// traced run, causality analysis, golden replay) run in full — they are
+// what make the generation order, and with it the shard partition, stable
+// across processes. Options.Workers is ignored: a shard explores serially
+// (fleet parallelism is between processes, not within a shard).
+//
+// With Options.Checkpoint set, the shard journals verdicts under a
+// shard-scoped fingerprint and resumes from a compatible journal, so a
+// worker that reclaims a dead worker's shard continues from the dead
+// worker's frontier instead of starting over.
+func RunShard(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload, opts Options, shard ShardSpec) (*ShardReport, error) {
+	if err := shard.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s, err := prepare(ctx, fs, lib, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	config := checkpointConfig(w.Name(), fs.Name(), opts)
+	if opts.Checkpoint != nil {
+		if err := s.resumeCheckpoint(config + shard.suffix()); err != nil {
+			return nil, err
+		}
+		defer func() {
+			if err := opts.Checkpoint.Flush(); err != nil {
+				opts.Obs.Counter("checkpoint/flush-errors").Inc()
+			}
+		}()
+	}
+
+	// Generate the full state space — the dealing is positional, so a shard
+	// must see the same list every process sees — then keep our slice.
+	stopGen := opts.Obs.Phase(obs.PhaseGenerate)
+	var states []CrashState
+	generated := s.emu.Generate(opts.emulatorConfig(), func(cs CrashState) bool {
+		states = append(states, cs)
+		return ctx.Err() == nil
+	})
+	stopGen()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("paracrash: shard cancelled: %w", err)
+	}
+	ids := shard.indices(len(states))
+	opts.Obs.Counter("states/generated").Add(int64(generated))
+	opts.Obs.Gauge("shard/states").Set(int64(len(ids)))
+
+	// Judge the shard with the in-process worker loops: an empty BugSet (no
+	// speculative pruning cross-process) and a board to collect verdicts.
+	// The loops publish a verdict for every owned id unless cancelled.
+	board := newResultBoard(len(states))
+	bugs := NewBugSet()
+	pending := opts.Obs.Gauge("shard/pending")
+	stopExplore := opts.Obs.Phase(obs.PhaseExplore)
+	switch {
+	case s.incremental():
+		s.exploreShardIncremental(states, ids, bugs, board, pending)
+	case opts.Mode == ModeOptimized:
+		s.exploreShardOptimized(states, ids, bugs, board, pending)
+	default:
+		s.exploreShard(states, ids, bugs, board, pending)
+	}
+	stopExplore()
+
+	// Leave the cluster at the untouched post-run state, like RunContext.
+	fs.Restore(s.initial)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("paracrash: shard cancelled: %w", err)
+	}
+
+	rep := &ShardReport{Shard: shard, Config: config, StatesGenerated: generated}
+	for _, id := range ids {
+		res, ok := board.await(id) // published: the loops covered every id
+		if !ok {
+			return nil, fmt.Errorf("paracrash: shard %s: no verdict for state %d", shard, id)
+		}
+		rep.Verdicts = append(rep.Verdicts, newVerdict(stateKey(states[id]), res))
+	}
+	rep.StatesChecked = len(s.checkCache)
+	return rep, nil
+}
+
+// MergeShards merges shard reports into the full report by replaying the
+// serial pipeline with checks resolved through the collected verdicts. The
+// result is byte-identical (ReportFingerprint) to RunContext with the same
+// arguments: visiting order, pruning, representative attribution and stat
+// charging all replay exactly; only verdicts the shards never produced
+// (classifier probes outside the generated space) are computed locally.
+//
+// The reports must form a complete partition — one report per shard index
+// of a single Count, all fingerprinting to this run's configuration and
+// agreeing on the generated-space size — otherwise MergeShards refuses
+// rather than deliver a silently partial report.
+func MergeShards(ctx context.Context, fs pfs.FileSystem, lib Library, w Workload, opts Options, shards []*ShardReport) (*Report, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("paracrash: merge: no shard reports")
+	}
+	config := checkpointConfig(w.Name(), fs.Name(), opts)
+	count := shards[0].Shard.Count
+	generated := shards[0].StatesGenerated
+	seen := make(map[int]bool, len(shards))
+	verdicts := make(map[string]checkResult)
+	for _, sr := range shards {
+		if err := sr.Shard.Validate(); err != nil {
+			return nil, fmt.Errorf("paracrash: merge: %w", err)
+		}
+		if sr.Shard.Count != count {
+			return nil, fmt.Errorf("paracrash: merge: shard %s is from a %d-way partition, expected %d-way", sr.Shard, sr.Shard.Count, count)
+		}
+		if sr.Config != config {
+			return nil, fmt.Errorf("paracrash: merge: shard %s was judged under a different configuration", sr.Shard)
+		}
+		if sr.StatesGenerated != generated {
+			return nil, fmt.Errorf("paracrash: merge: shard %s saw %d generated states, shard %s saw %d", sr.Shard, sr.StatesGenerated, shards[0].Shard, generated)
+		}
+		if seen[sr.Shard.Index] {
+			return nil, fmt.Errorf("paracrash: merge: duplicate report for shard %s", sr.Shard)
+		}
+		seen[sr.Shard.Index] = true
+		for _, v := range sr.Verdicts {
+			// Verdicts are deterministic per configuration, so a key judged
+			// by two shards (it cannot happen in a clean partition, but a
+			// reclaimed shard re-run is harmless) resolves identically.
+			verdicts[v.Key] = v.result()
+		}
+	}
+	for i := 0; i < count; i++ {
+		if !seen[i] {
+			return nil, fmt.Errorf("paracrash: merge: missing report for shard %d/%d", i, count)
+		}
+	}
+	lookup := func(key string) (checkResult, bool) {
+		r, ok := verdicts[key]
+		return r, ok
+	}
+	return runPipeline(ctx, fs, lib, w, opts, lookup)
+}

@@ -83,6 +83,12 @@ type JobRequest struct {
 	// (nil keeps the engine default: on). Set false to rebuild every crash
 	// state with a full restore and replay. Explore jobs only.
 	Incremental *bool `json:"incremental,omitempty"`
+	// Shards requests a fleet partition width for this explore job: the
+	// coordinator splits the crash-state space into this many shards for
+	// worker processes to claim. 0 keeps the daemon's default; values are
+	// capped by the daemon's maximum, and a daemon running standalone (no
+	// fleet) executes the job in-process regardless. Explore jobs only.
+	Shards int `json:"shards,omitempty"`
 	// Clients/Rows/Cols/ResizeRows/ResizeCols are the H5 program knobs;
 	// zero values keep workloads.DefaultH5Params.
 	Clients    int `json:"clients,omitempty"`
@@ -125,6 +131,9 @@ func (r *JobRequest) Normalize() error {
 	}
 	if r.Workers < 0 {
 		return fmt.Errorf("workers must be >= 0, got %d", r.Workers)
+	}
+	if r.Shards < 0 {
+		return fmt.Errorf("shards must be >= 0, got %d", r.Shards)
 	}
 
 	if r.Kind == JobKindFuzz {
@@ -246,10 +255,13 @@ func validFS(name string) bool {
 // Job is one submitted job's full record. Terminal jobs are persisted as
 // versioned JSON in the results directory and survive daemon restarts.
 type Job struct {
-	Version    int        `json:"version"`
-	ID         string     `json:"id"`
-	State      JobState   `json:"state"`
-	Request    JobRequest `json:"request"`
+	Version int        `json:"version"`
+	ID      string     `json:"id"`
+	State   JobState   `json:"state"`
+	Request JobRequest `json:"request"`
+	// Tenant is the submitting tenant's name (empty for open-mode jobs).
+	// Tenants only see their own jobs over the API.
+	Tenant     string     `json:"tenant,omitempty"`
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`

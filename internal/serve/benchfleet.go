@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"paracrash/internal/exps"
+)
+
+// FleetBenchConfig sizes the fleet throughput cell: an in-process
+// coordinator + Workers worker loops + Tenants API keys, stormed with Jobs
+// submissions through the real HTTP stack by the load generator.
+type FleetBenchConfig struct {
+	// Workers is the fleet worker count (default 3).
+	Workers int
+	// Tenants is how many tenant API keys the storm rotates through
+	// (default 2; 0 runs open mode).
+	Tenants int
+	// Shards is the partition width each job requests (default 2).
+	Shards int
+	// Jobs / Concurrency size the storm (defaults 24 / 8).
+	Jobs        int
+	Concurrency int
+	// Request is the job template; zero value means ext4/CR/pruning — the
+	// cheapest cell, so the measurement is dominated by the service path
+	// (admission, scheduling, shard dispatch, leases, merge), not the
+	// engine.
+	Request JobRequest
+	// MaxConcurrent bounds the coordinator's running jobs (default 4).
+	MaxConcurrent int
+}
+
+// BenchFleet runs the fleet cell of the benchmark trajectory: it stands up
+// a real coordinator (scheduler + HTTP server + shared shard directory), N
+// worker loops and M tenants, pushes the configured job storm through the
+// load generator, and reports jobs/sec with latency percentiles. Every
+// layer is the production code path — the only shortcut is that workers
+// run as goroutines instead of processes.
+func BenchFleet(ctx context.Context, cfg FleetBenchConfig) (*exps.FleetBenchRecord, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.Tenants < 0 {
+		cfg.Tenants = 0
+	} else if cfg.Tenants == 0 {
+		cfg.Tenants = 2
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 24
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.Request.FS == "" {
+		cfg.Request = JobRequest{Kind: JobKindExplore, FS: "ext4", Program: "CR", Mode: "pruning"}
+	}
+
+	rec := &exps.FleetBenchRecord{
+		Workers: cfg.Workers, Tenants: cfg.Tenants, Shards: cfg.Shards,
+		Jobs: cfg.Jobs, Concurrency: cfg.Concurrency,
+	}
+
+	dir, err := os.MkdirTemp("", "paracrash-benchfleet-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var tenants *Tenants
+	var keys []string
+	if cfg.Tenants > 0 {
+		list := make([]Tenant, cfg.Tenants)
+		for i := range list {
+			key := fmt.Sprintf("bench-tenant-%d-key", i)
+			list[i] = Tenant{Name: fmt.Sprintf("bench-%d", i), Key: key}
+			keys = append(keys, key)
+		}
+		tenants, err = NewTenants(list)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	st, warns := OpenStore(dir)
+	if len(warns) > 0 {
+		return nil, warns[0]
+	}
+	sched := NewScheduler(SchedulerConfig{
+		MaxConcurrent: cfg.MaxConcurrent,
+		QueueDepth:    cfg.Jobs + cfg.Concurrency,
+		Tenants:       tenants,
+		Fleet:         &FleetConfig{Shards: cfg.Shards, MaxShards: cfg.Shards, Poll: 2 * time.Millisecond},
+	}, st, nil)
+	sched.Start()
+	defer sched.Drain(context.Background())
+
+	wctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+	for i := 0; i < cfg.Workers; i++ {
+		w, werr := NewFleetWorker(FleetWorkerConfig{
+			Dir: dir, ID: fmt.Sprintf("bench-w%d", i), Poll: 2 * time.Millisecond,
+		})
+		if werr != nil {
+			return nil, werr
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(wctx)
+		}()
+	}
+
+	srv := httptest.NewServer(NewServer(sched, st, nil))
+	defer srv.Close()
+
+	req := cfg.Request
+	req.Shards = cfg.Shards
+	load, err := RunLoad(ctx, LoadGenConfig{
+		BaseURL:      srv.URL,
+		Keys:         keys,
+		Jobs:         cfg.Jobs,
+		Concurrency:  cfg.Concurrency,
+		Request:      req,
+		PollInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	rec.Done, rec.Failed, rec.Rejected = load.Done, load.Failed, load.Rejected
+	rec.Seconds = load.Duration.Seconds()
+	rec.JobsPerSec = load.JobsPerSec
+	rec.P50 = load.P50.Seconds()
+	rec.P95 = load.P95.Seconds()
+	rec.P99 = load.P99.Seconds()
+	if rec.Err == "" && load.Errors > 0 {
+		rec.Err = fmt.Sprintf("%d submissions abandoned on errors", load.Errors)
+	}
+	return rec, nil
+}

@@ -1,0 +1,273 @@
+// Lease records: how fleet workers claim shard work without a coordinator
+// round-trip. A lease is one JSON file in the shared results directory,
+// created with O_EXCL so exactly one claimant wins, renewed by its owner
+// before the TTL elapses, and reclaimable by anyone once it expires — the
+// crash-recovery path for a worker that died mid-shard. Epochs count
+// ownership transfers: a renewal or release by a worker whose epoch the
+// file no longer carries fails with ErrLeaseLost, so a paused-and-revived
+// worker notices it was presumed dead instead of double-writing.
+//
+// The protocol tolerates the one race a shared directory cannot exclude:
+// two workers may both observe an expired lease and both remove-then-create
+// it. The O_EXCL create serialises them — one wins the new epoch — and the
+// loser's verdicts were deterministic anyway, so even a worker that briefly
+// keeps computing after losing its lease cannot corrupt a merge.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ErrLeaseHeld is returned by Claim when another worker holds an
+// unexpired lease on the task.
+var ErrLeaseHeld = errors.New("serve: lease held by another worker")
+
+// ErrLeaseLost is returned by Renew and Release when the caller no longer
+// owns the lease (it expired and another worker reclaimed it).
+var ErrLeaseLost = errors.New("serve: lease lost")
+
+// Lease is one claim on a unit of fleet work.
+type Lease struct {
+	// Task names the work unit (e.g. "<job>-shard-2").
+	Task string `json:"task"`
+	// Owner is the claiming worker's ID.
+	Owner string `json:"owner"`
+	// Epoch counts ownership transfers; it increments on every reclaim.
+	Epoch int `json:"epoch"`
+	// Expires is the wall-clock deadline after which the lease is dead and
+	// any worker may reclaim the task.
+	Expires time.Time `json:"expires"`
+}
+
+// Expired reports whether the lease is past its deadline at now.
+func (l Lease) Expired(now time.Time) bool { return now.After(l.Expires) }
+
+// LeaseDir manages lease files under one shared directory. All methods are
+// safe for concurrent use across processes — the directory is the lock.
+type LeaseDir struct {
+	dir string
+	// now is the clock, swappable in tests to force expiry deterministically.
+	now func() time.Time
+}
+
+// NewLeaseDir returns a lease manager over dir (created if needed).
+func NewLeaseDir(dir string) (*LeaseDir, error) {
+	if dir == "" {
+		return nil, errors.New("serve: lease dir must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: lease dir: %w", err)
+	}
+	return &LeaseDir{dir: dir, now: time.Now}, nil
+}
+
+// path returns the lease file for a task.
+func (d *LeaseDir) path(task string) string {
+	return filepath.Join(d.dir, "lease-"+sanitizeID(task)+".json")
+}
+
+// Claim attempts to acquire the task's lease for owner with the given TTL.
+// It wins when no lease file exists (fresh claim, epoch 1) or the existing
+// lease is expired (reclaim, epoch+1); an unexpired lease by another owner
+// returns ErrLeaseHeld, and re-claiming a task the owner already holds
+// renews it in place.
+func (d *LeaseDir) Claim(task, owner string, ttl time.Duration) (*Lease, error) {
+	now := d.now()
+	path := d.path(task)
+	cur, err := d.read(path)
+	switch {
+	case err == nil && cur.Owner == owner && !cur.Expired(now):
+		// Already ours: refresh the deadline (idempotent claim after a
+		// worker restart that kept its ID).
+		cur.Expires = now.Add(ttl)
+		if err := atomicWriteJSON(path, cur); err != nil {
+			return nil, err
+		}
+		return &cur, nil
+	case err == nil && !cur.Expired(now):
+		return nil, fmt.Errorf("%w: %s owns %s until %s", ErrLeaseHeld, cur.Owner, task, cur.Expires.Format(time.RFC3339))
+	case err == nil:
+		// Expired: anyone may reclaim. Remove then O_EXCL-create; losing
+		// either race means another worker won the reclaim.
+		_ = os.Remove(path)
+		next := Lease{Task: task, Owner: owner, Epoch: cur.Epoch + 1, Expires: now.Add(ttl)}
+		if err := d.create(path, next); err != nil {
+			return nil, err
+		}
+		return &next, nil
+	case os.IsNotExist(err):
+		next := Lease{Task: task, Owner: owner, Epoch: 1, Expires: now.Add(ttl)}
+		if err := d.create(path, next); err != nil {
+			return nil, err
+		}
+		return &next, nil
+	default:
+		return nil, err
+	}
+}
+
+// Renew extends the lease's deadline by ttl from now. The caller must still
+// own the exact epoch it claimed; anything else — file gone, other owner,
+// other epoch — is ErrLeaseLost.
+func (d *LeaseDir) Renew(l *Lease, ttl time.Duration) error {
+	path := d.path(l.Task)
+	cur, err := d.read(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: lease file for %s is gone", ErrLeaseLost, l.Task)
+		}
+		return err
+	}
+	if cur.Owner != l.Owner || cur.Epoch != l.Epoch {
+		return fmt.Errorf("%w: %s is owned by %s (epoch %d)", ErrLeaseLost, l.Task, cur.Owner, cur.Epoch)
+	}
+	l.Expires = d.now().Add(ttl)
+	return atomicWriteJSON(path, *l)
+}
+
+// Release drops the lease so the task stops looking claimed. Releasing a
+// lease the caller no longer owns returns ErrLeaseLost and removes nothing.
+func (d *LeaseDir) Release(l *Lease) error {
+	path := d.path(l.Task)
+	cur, err := d.read(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // already gone — release is idempotent
+		}
+		return err
+	}
+	if cur.Owner != l.Owner || cur.Epoch != l.Epoch {
+		return fmt.Errorf("%w: %s is owned by %s (epoch %d)", ErrLeaseLost, l.Task, cur.Owner, cur.Epoch)
+	}
+	return os.Remove(path)
+}
+
+// Get returns the task's current lease, with ok=false when none exists.
+func (d *LeaseDir) Get(task string) (Lease, bool, error) {
+	l, err := d.read(d.path(task))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Lease{}, false, nil
+		}
+		return Lease{}, false, err
+	}
+	return l, true, nil
+}
+
+// List returns every lease in the directory, sorted by task. Unparsable
+// files (a worker died mid-create before O_EXCL content landed — impossible
+// with our create, but directories are shared) are skipped.
+func (d *LeaseDir) List() ([]Lease, error) {
+	paths, err := filepath.Glob(filepath.Join(d.dir, "lease-*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var out []Lease
+	for _, p := range paths {
+		l, err := d.read(p)
+		if err != nil {
+			continue
+		}
+		out = append(out, l)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Task < out[b].Task })
+	return out, nil
+}
+
+// read parses one lease file. A file that exists but does not parse is
+// reported as malformed, distinct from not-exist.
+func (d *LeaseDir) read(path string) (Lease, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Lease{}, err
+	}
+	var l Lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		return Lease{}, fmt.Errorf("serve: malformed lease %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// create writes a brand-new lease file with O_EXCL, the cross-process
+// mutual-exclusion primitive: exactly one concurrent claimant succeeds.
+func (d *LeaseDir) create(path string, l Lease) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return fmt.Errorf("%w: lost the claim race for %s", ErrLeaseHeld, l.Task)
+		}
+		return err
+	}
+	data, err := json.Marshal(l)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+// atomicWriteJSON writes v to path with the temp-file + fsync + rename +
+// dir-fsync discipline every persistent record in this package uses.
+func atomicWriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncStoreDir(filepath.Dir(path))
+}
+
+// leaseTaskForShard names the lease protecting one shard of one job.
+func leaseTaskForShard(job string, index int) string {
+	return fmt.Sprintf("%s-shard-%d", job, index)
+}
+
+// jobOfLeaseTask extracts the job ID out of a shard lease task name,
+// with ok=false for non-shard tasks.
+func jobOfLeaseTask(task string) (string, bool) {
+	i := strings.LastIndex(task, "-shard-")
+	if i < 0 {
+		return "", false
+	}
+	return task[:i], true
+}

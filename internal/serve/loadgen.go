@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LoadGenConfig drives a synthetic job storm against a running paracrashd:
+// Jobs submissions spread across Concurrency client goroutines, optionally
+// rotating through a set of tenant API keys so the fleet's fair scheduler,
+// quotas and rate limits are exercised the way a real multi-tenant
+// deployment would exercise them.
+type LoadGenConfig struct {
+	// BaseURL is the daemon address, e.g. "http://localhost:7077".
+	BaseURL string
+	// Keys are tenant API keys to rotate through (client i uses
+	// Keys[i % len(Keys)]). Empty means open mode: no auth header.
+	Keys []string
+	// Jobs is the total number of jobs to submit (required, >= 1).
+	Jobs int
+	// Concurrency is how many client goroutines submit and await jobs
+	// concurrently (default 8, capped at Jobs).
+	Concurrency int
+	// Request is the job template every submission sends.
+	Request JobRequest
+	// PollInterval is the terminal-state poll cadence (default 100ms).
+	PollInterval time.Duration
+	// Timeout bounds the whole run; 0 means no bound beyond ctx.
+	Timeout time.Duration
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+// LoadReport is the outcome of one load-generation run.
+type LoadReport struct {
+	// Jobs is the number of submissions attempted.
+	Jobs int `json:"jobs"`
+	// Done / Failed count jobs that reached a terminal state.
+	Done   int `json:"done"`
+	Failed int `json:"failed"`
+	// Rejected counts 429 responses (queue-full, rate-limited or
+	// quota-exceeded); rejected submissions are retried until admitted.
+	Rejected int `json:"rejected"`
+	// Errors counts submissions abandoned on transport or protocol errors.
+	Errors int `json:"errors"`
+	// Duration is the wall-clock span of the run.
+	Duration time.Duration `json:"duration"`
+	// JobsPerSec is terminal jobs per second of wall clock.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// P50/P95/P99 are submit-to-terminal latency percentiles.
+	P50 time.Duration `json:"p50"`
+	P95 time.Duration `json:"p95"`
+	P99 time.Duration `json:"p99"`
+}
+
+// Format renders the report for humans.
+func (r LoadReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d jobs in %v (%.1f jobs/sec)\n", r.Jobs, r.Duration.Round(time.Millisecond), r.JobsPerSec)
+	fmt.Fprintf(&b, "  done %d, failed %d, errors %d, 429-rejections %d (retried)\n", r.Done, r.Failed, r.Errors, r.Rejected)
+	fmt.Fprintf(&b, "  latency p50 %v, p95 %v, p99 %v\n",
+		r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond), r.P99.Round(time.Millisecond))
+	return b.String()
+}
+
+// RunLoad executes the configured storm and reports throughput and latency.
+// A 429 (admission control pushing back) is not a failure: the client backs
+// off and resubmits, so the report measures sustainable throughput under
+// the daemon's own limits.
+func RunLoad(ctx context.Context, cfg LoadGenConfig) (LoadReport, error) {
+	if cfg.Jobs < 1 {
+		return LoadReport{}, fmt.Errorf("loadgen: Jobs must be >= 1, got %d", cfg.Jobs)
+	}
+	if cfg.BaseURL == "" {
+		return LoadReport{}, fmt.Errorf("loadgen: BaseURL required")
+	}
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		conc = 8
+	}
+	if conc > cfg.Jobs {
+		conc = cfg.Jobs
+	}
+	poll := cfg.PollInterval
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	body, err := json.Marshal(cfg.Request)
+	if err != nil {
+		return LoadReport{}, fmt.Errorf("loadgen: marshal request: %v", err)
+	}
+
+	var (
+		mu        sync.Mutex
+		rep       = LoadReport{Jobs: cfg.Jobs}
+		latencies []time.Duration
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < conc; i++ {
+		key := ""
+		if len(cfg.Keys) > 0 {
+			key = cfg.Keys[i%len(cfg.Keys)]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				t0 := time.Now()
+				state, rejected, err := runOneLoadJob(ctx, client, cfg.BaseURL, key, body, poll)
+				mu.Lock()
+				rep.Rejected += rejected
+				switch {
+				case err != nil:
+					rep.Errors++
+				case state == JobDone:
+					rep.Done++
+					latencies = append(latencies, time.Since(t0))
+				default:
+					rep.Failed++
+					latencies = append(latencies, time.Since(t0))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for n := 0; n < cfg.Jobs; n++ {
+		select {
+		case work <- n:
+		case <-ctx.Done():
+			n = cfg.Jobs
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	rep.Duration = time.Since(start)
+	if secs := rep.Duration.Seconds(); secs > 0 {
+		rep.JobsPerSec = float64(rep.Done+rep.Failed) / secs
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.P50 = percentile(latencies, 0.50)
+	rep.P95 = percentile(latencies, 0.95)
+	rep.P99 = percentile(latencies, 0.99)
+	if err := ctx.Err(); err != nil {
+		return rep, fmt.Errorf("loadgen: run cut short: %v", err)
+	}
+	return rep, nil
+}
+
+// runOneLoadJob submits one job (retrying 429 pushback with backoff) and
+// polls it to a terminal state. Returns the terminal state and how many
+// 429s the submission absorbed.
+func runOneLoadJob(ctx context.Context, client *http.Client, base, key string, body []byte, poll time.Duration) (JobState, int, error) {
+	rejected := 0
+	backoff := poll
+	var id string
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return "", rejected, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", rejected, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			rejected++
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return "", rejected, ctx.Err()
+			}
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return "", rejected, fmt.Errorf("submit: %s: %s", resp.Status, msg)
+		}
+		var job Job
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			return "", rejected, fmt.Errorf("submit response: %v", err)
+		}
+		id = job.ID
+		break
+	}
+
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return "", rejected, err
+		}
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", rejected, err
+		}
+		var job Job
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			return "", rejected, fmt.Errorf("poll: %v", err)
+		}
+		if job.State.Terminal() {
+			return job.State, rejected, nil
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return "", rejected, ctx.Err()
+		}
+	}
+}
+
+// percentile picks the pth percentile from sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

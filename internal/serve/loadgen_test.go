@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestLoadGen drives the load generator against a live multi-tenant server
+// with tight admission limits: every job must eventually complete (429
+// pushback is retried, not failed) and the report must account for all of
+// them.
+func TestLoadGen(t *testing.T) {
+	tenants, err := NewTenants([]Tenant{
+		{Name: "alice", Key: "alice-key-123", Priority: PriorityHigh, MaxQueued: 2},
+		{Name: "bob", Key: "bob-key-45678", MaxQueued: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, warns := OpenStore("")
+	if len(warns) > 0 {
+		t.Fatal(warns[0])
+	}
+	s := NewScheduler(SchedulerConfig{MaxConcurrent: 2, QueueDepth: 4, Tenants: tenants}, st, nil)
+	s.Start()
+	defer s.Drain(context.Background())
+	srv := httptest.NewServer(NewServer(s, st, nil))
+	defer srv.Close()
+
+	rep, err := RunLoad(context.Background(), LoadGenConfig{
+		BaseURL:      srv.URL,
+		Keys:         []string{"alice-key-123", "bob-key-45678"},
+		Jobs:         12,
+		Concurrency:  6,
+		Request:      JobRequest{Kind: JobKindExplore, FS: "ext4", Program: "CR", Mode: "pruning"},
+		PollInterval: 5 * time.Millisecond,
+		Timeout:      time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Done != 12 || rep.Failed != 0 || rep.Errors != 0 {
+		t.Fatalf("load run did not complete cleanly: %+v", rep)
+	}
+	if rep.JobsPerSec <= 0 || rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Errorf("implausible throughput/latency stats: %+v", rep)
+	}
+}
+
+// TestLoadGenValidation rejects unusable configs up front.
+func TestLoadGenValidation(t *testing.T) {
+	if _, err := RunLoad(context.Background(), LoadGenConfig{BaseURL: "http://x", Jobs: 0}); err == nil {
+		t.Error("Jobs=0 accepted")
+	}
+	if _, err := RunLoad(context.Background(), LoadGenConfig{Jobs: 1}); err == nil {
+		t.Error("empty BaseURL accepted")
+	}
+}

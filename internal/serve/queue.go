@@ -1,0 +1,165 @@
+package serve
+
+import "sync"
+
+// queuedJob is one queue entry: the job plus the admission facts the queue
+// needs at dispatch time (tenant identity and its running-cap).
+type queuedJob struct {
+	job    *Job
+	tenant string // "" is the open-mode default tenant
+	maxRun int    // tenant's MaxRunning (0 = no per-tenant cap)
+}
+
+// tenantRing is one priority class: a round-robin ring over tenants that
+// currently have queued jobs, each with its own FIFO.
+type tenantRing struct {
+	order    []string
+	next     int
+	byTenant map[string][]*queuedJob
+}
+
+func newTenantRing() *tenantRing {
+	return &tenantRing{byTenant: map[string][]*queuedJob{}}
+}
+
+func (r *tenantRing) push(qj *queuedJob) {
+	if _, ok := r.byTenant[qj.tenant]; !ok {
+		r.order = append(r.order, qj.tenant)
+	}
+	r.byTenant[qj.tenant] = append(r.byTenant[qj.tenant], qj)
+}
+
+// pop returns the next job from the first eligible tenant at or after the
+// round-robin cursor, advancing the cursor past the chosen tenant so the
+// next pop starts at its neighbour — that interleaving is what keeps one
+// chatty tenant from starving the others in its class.
+func (r *tenantRing) pop(eligible func(tenant string, maxRun int) bool) *queuedJob {
+	for off := 0; off < len(r.order); off++ {
+		i := (r.next + off) % len(r.order)
+		tn := r.order[i]
+		q := r.byTenant[tn]
+		if len(q) == 0 || !eligible(tn, q[0].maxRun) {
+			continue
+		}
+		qj := q[0]
+		q = q[1:]
+		if len(q) == 0 {
+			delete(r.byTenant, tn)
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			if r.next > i {
+				r.next--
+			}
+			if len(r.order) > 0 {
+				r.next %= len(r.order)
+			} else {
+				r.next = 0
+			}
+		} else {
+			r.byTenant[tn] = q
+			r.next = (i + 1) % len(r.order)
+		}
+		return qj
+	}
+	return nil
+}
+
+// fairQueue replaces the scheduler's FIFO channel when tenants exist (and
+// degenerates to one for a single tenant): three priority classes, each a
+// round-robin ring of per-tenant FIFOs, plus per-tenant running counts so
+// a tenant at its MaxRunning cap is skipped — not blocking — at dispatch.
+type fairQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	closed  bool
+	size    int
+	classes [3]*tenantRing
+	queued  map[string]int
+	running map[string]int
+}
+
+func newFairQueue() *fairQueue {
+	q := &fairQueue{
+		queued:  map[string]int{},
+		running: map[string]int{},
+	}
+	for i := range q.classes {
+		q.classes[i] = newTenantRing()
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a job in the given priority class (0 strongest). The caller
+// enforces capacity and drain state; push never refuses.
+func (q *fairQueue) push(qj *queuedJob, prio int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.classes[prio].push(qj)
+	q.size++
+	q.queued[qj.tenant]++
+	q.cond.Signal()
+}
+
+// pop blocks until a dispatchable job exists, serving higher classes first
+// and round-robining tenants within a class; a tenant at its MaxRunning cap
+// is passed over until release frees a slot. After close, pop keeps
+// draining the backlog and returns nil once it is empty — preserving the
+// channel-drain semantics Drain relies on.
+func (q *fairQueue) pop() *queuedJob {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for _, ring := range q.classes {
+			if qj := ring.pop(q.eligible); qj != nil {
+				q.size--
+				q.queued[qj.tenant]--
+				q.running[qj.tenant]++
+				return qj
+			}
+		}
+		if q.closed && q.size == 0 {
+			return nil
+		}
+		q.cond.Wait()
+	}
+}
+
+// eligible is pop's dispatch gate; called with q.mu held.
+func (q *fairQueue) eligible(tenant string, maxRun int) bool {
+	return maxRun <= 0 || q.running[tenant] < maxRun
+}
+
+// release returns a tenant's running slot after its job finishes, waking
+// poppers that skipped the tenant at its cap.
+func (q *fairQueue) release(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.running[tenant]--
+	q.cond.Broadcast()
+}
+
+// close stops pop from blocking once the backlog drains. Idempotent.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+func (q *fairQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+func (q *fairQueue) queuedFor(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued[tenant]
+}
+
+func (q *fairQueue) runningFor(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.running[tenant]
+}

@@ -55,6 +55,16 @@ type SchedulerConfig struct {
 	// Faults, when non-nil, arms the deterministic fault plane on every
 	// explore job — the daemon-level chaos knob the robustness tests drive.
 	Faults *faultinject.Plan
+	// Fleet, when non-nil, makes this scheduler a fleet coordinator: explore
+	// jobs whose effective partition width is >= 2 are sharded across worker
+	// processes through the shared results directory (see shard.go). Requires
+	// a persistent store (fleet records are files).
+	Fleet *FleetConfig
+	// Tenants, when non-nil, turns on multi-tenancy: the server requires an
+	// API key on /v1 routes, submissions pass per-tenant rate limits and
+	// queued-job quotas, and the queue becomes priority-classed and
+	// tenant-fair (see tenant.go and queue.go).
+	Tenants *Tenants
 }
 
 func (c SchedulerConfig) withDefaults() SchedulerConfig {
@@ -88,9 +98,10 @@ type Scheduler struct {
 	store  *Store
 	obs    *obs.Run    // daemon-level run (queue gauges, job counters)
 	router *obs.Router // telemetry router: daemon run + live job runs
+	fleet  FleetConfig // resolved coordinator knobs (zero when not a coordinator)
 
-	queue chan *Job
-	wg    sync.WaitGroup
+	fq *fairQueue
+	wg sync.WaitGroup
 
 	mu       sync.Mutex
 	draining bool
@@ -127,7 +138,7 @@ func NewScheduler(cfg SchedulerConfig, store *Store, run *obs.Run) *Scheduler {
 		store:  store,
 		obs:    run,
 		router: obs.NewRouter(),
-		queue:  make(chan *Job, cfg.QueueDepth),
+		fq:     newFairQueue(),
 		runs:   map[string]*jobRun{},
 
 		ctrSubmitted: run.Counter("jobs/submitted"),
@@ -138,9 +149,42 @@ func NewScheduler(cfg SchedulerConfig, store *Store, run *obs.Run) *Scheduler {
 		gaugeQueued:  run.Gauge("jobs/queued"),
 		gaugeRunning: run.Gauge("jobs/running"),
 	}
+	if cfg.Fleet != nil {
+		s.fleet = cfg.Fleet.withDefaults()
+	}
 	s.router.Attach("", run)
 	s.executor = s.execute
 	return s
+}
+
+// fleetEnabled reports whether this scheduler coordinates a worker fleet
+// (configured for it and backed by a persistent store to exchange records).
+func (s *Scheduler) fleetEnabled() bool {
+	return s.cfg.Fleet != nil && s.store.Dir() != ""
+}
+
+// Tenants returns the tenant registry (nil in open mode). The server uses
+// it to authenticate /v1 requests.
+func (s *Scheduler) Tenants() *Tenants {
+	return s.cfg.Tenants
+}
+
+// QueuedFor reports how many of the tenant's jobs are queued ("" is the
+// open-mode default tenant).
+func (s *Scheduler) QueuedFor(tenant string) int { return s.fq.queuedFor(tenant) }
+
+// RunningFor reports how many of the tenant's jobs are running ("" is the
+// open-mode default tenant).
+func (s *Scheduler) RunningFor(tenant string) int { return s.fq.runningFor(tenant) }
+
+// tenantOf resolves a persisted job's tenant name against the current
+// registry; a job from an open-mode era (or a since-removed tenant) falls
+// back to default scheduling.
+func (s *Scheduler) tenantOf(name string) (*Tenant, bool) {
+	if name == "" || s.cfg.Tenants == nil {
+		return nil, false
+	}
+	return s.cfg.Tenants.ByName(name)
 }
 
 // Router returns the scheduler's telemetry router. The server mounts its
@@ -156,17 +200,31 @@ func (s *Scheduler) Start() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for j := range s.queue {
+			for {
+				qj := s.fq.pop()
+				if qj == nil {
+					return
+				}
 				s.gaugeQueued.Add(-1)
-				s.runJob(j)
+				s.runJob(qj.job)
+				s.fq.release(qj.tenant)
 			}
 		}()
 	}
 }
 
-// Submit validates, enqueues and registers a job. ErrQueueFull and
-// ErrDraining are admission rejections; other errors are request errors.
+// Submit validates, enqueues and registers a job for the open-mode default
+// tenant. ErrQueueFull and ErrDraining are admission rejections; other
+// errors are request errors.
 func (s *Scheduler) Submit(req JobRequest) (Job, error) {
+	return s.SubmitTenant(req, nil)
+}
+
+// SubmitTenant is Submit on behalf of a tenant (nil = the open-mode
+// default): the submission additionally passes the tenant's token-bucket
+// rate limit (ErrRateLimited) and queued-job quota (ErrQuotaExceeded), and
+// the job queues in the tenant's priority class.
+func (s *Scheduler) SubmitTenant(req JobRequest, tn *Tenant) (Job, error) {
 	if err := req.Normalize(); err != nil {
 		return Job{}, err
 	}
@@ -177,6 +235,13 @@ func (s *Scheduler) Submit(req JobRequest) (Job, error) {
 		Request:   req,
 		CreatedAt: time.Now().UTC(),
 	}
+	name, prio, maxRun := "", 1, 0
+	if tn != nil {
+		job.Tenant = tn.Name
+		name = tn.Name
+		prio, _ = priorityIndex(tn.Priority) // validated at registry build
+		maxRun = tn.MaxRunning
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -184,9 +249,24 @@ func (s *Scheduler) Submit(req JobRequest) (Job, error) {
 		s.ctrRejected.Inc()
 		return Job{}, ErrDraining
 	}
-	// Every send happens under s.mu and workers only drain the queue, so a
-	// capacity check here makes the send below non-blocking.
-	if len(s.queue) == cap(s.queue) {
+	// Admission order: the tenant's own limits first (rate, then quota), the
+	// shared queue depth last — a tenant over its own budget is told so even
+	// when the global queue also happens to be full.
+	if tn != nil && s.cfg.Tenants != nil && !s.cfg.Tenants.Allow(tn.Name) {
+		s.mu.Unlock()
+		s.ctrRejected.Inc()
+		s.obs.Counter("tenant/" + tn.Name + "/rate-limited").Inc()
+		return Job{}, ErrRateLimited
+	}
+	if tn != nil && tn.MaxQueued > 0 && s.fq.queuedFor(tn.Name) >= tn.MaxQueued {
+		s.mu.Unlock()
+		s.ctrRejected.Inc()
+		s.obs.Counter("tenant/" + tn.Name + "/quota-rejected").Inc()
+		return Job{}, ErrQuotaExceeded
+	}
+	// Every push happens under s.mu and workers only drain the queue, so
+	// this depth check bounds the queue exactly.
+	if s.fq.len() >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		s.ctrRejected.Inc()
 		return Job{}, ErrQueueFull
@@ -201,11 +281,14 @@ func (s *Scheduler) Submit(req JobRequest) (Job, error) {
 	s.store.Add(job)
 	snap := *job
 	s.gaugeQueued.Add(1)
-	s.queue <- job
+	s.fq.push(&queuedJob{job: job, tenant: name, maxRun: maxRun}, prio)
 	s.mu.Unlock()
 
 	s.router.Attach(job.ID, jr.run)
 	s.ctrSubmitted.Inc()
+	if tn != nil {
+		s.obs.Counter("tenant/" + tn.Name + "/submitted").Inc()
+	}
 	return snap, nil
 }
 
@@ -234,7 +317,7 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.fq.close()
 	}
 	s.mu.Unlock()
 
@@ -402,6 +485,12 @@ func (s *Scheduler) execute(ctx context.Context, job *Job, run *obs.Run) (*core.
 		}
 		return nil, summarizeFuzz(res), nil
 	default:
+		if s.fleetEnabled() {
+			if n := s.fleet.effectiveShards(req); n >= 2 {
+				rep, ferr := s.executeFleet(ctx, job, run, n)
+				return rep, nil, ferr
+			}
+		}
 		prog, perr := exps.ProgramByName(req.Program)
 		if perr != nil {
 			return nil, nil, perr
@@ -448,7 +537,7 @@ func (s *Scheduler) Resubmit(id string) error {
 		s.ctrRejected.Inc()
 		return ErrDraining
 	}
-	if len(s.queue) == cap(s.queue) {
+	if s.fq.len() >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		s.ctrRejected.Inc()
 		return ErrQueueFull
@@ -462,9 +551,16 @@ func (s *Scheduler) Resubmit(id string) error {
 		job.StartedAt = nil
 	})
 	s.gaugeQueued.Add(1)
-	// Workers only read ID and Request off the queued record; the store
-	// keeps the canonical copy.
-	s.queue <- &Job{ID: id, Request: j.Request}
+	// Workers only read ID, Request and Tenant off the queued record; the
+	// store keeps the canonical copy. Resubmission is the daemon recovering
+	// its own interrupted work, so the tenant's rate limit and queued quota
+	// do not re-apply — but its priority class and running cap still do.
+	prio, maxRun := 1, 0
+	if tn, ok := s.tenantOf(j.Tenant); ok {
+		prio, _ = priorityIndex(tn.Priority)
+		maxRun = tn.MaxRunning
+	}
+	s.fq.push(&queuedJob{job: &Job{ID: id, Request: j.Request, Tenant: j.Tenant}, tenant: j.Tenant, maxRun: maxRun}, prio)
 	s.mu.Unlock()
 
 	s.router.Attach(id, jr.run)

@@ -12,21 +12,25 @@ import (
 
 // Server is the paracrashd HTTP API over a scheduler and its store.
 type Server struct {
-	sched *Scheduler
-	store *Store
-	run   *obs.Run // daemon-level run, exposed at /debug/obs
-	mux   *http.ServeMux
+	sched   *Scheduler
+	store   *Store
+	run     *obs.Run // daemon-level run, exposed at /debug/obs
+	tenants *Tenants // from the scheduler config; nil = open mode
+	mux     *http.ServeMux
 }
 
 // NewServer wires the API routes. run (nilable) is the daemon-level obs
-// run served at /debug/obs*.
+// run served at /debug/obs*. When the scheduler carries a tenant registry,
+// every /v1 route requires an API key; /healthz, /metrics and /debug stay
+// open (they feed probes and scrapers, not tenants).
 func NewServer(sched *Scheduler, store *Store, run *obs.Run) *Server {
-	s := &Server{sched: sched, store: store, run: run, mux: http.NewServeMux()}
+	s := &Server{sched: sched, store: store, run: run, tenants: sched.Tenants(), mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/tenant", s.handleTenant)
 	// /metrics is the Prometheus text exposition of the scheduler's
 	// telemetry router: fleet-level series (daemon counters plus rollups
 	// across all jobs, completed ones included) and one labeled series set
@@ -64,6 +68,33 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// authenticate resolves the caller's tenant on a /v1 route. In open mode
+// (no registry) it returns (nil, true): no key required, full visibility.
+// With tenants configured, a missing or unknown key gets a 401 and
+// (nil, false).
+func (s *Server) authenticate(w http.ResponseWriter, r *http.Request) (*Tenant, bool) {
+	if s.tenants == nil {
+		return nil, true
+	}
+	tn, err := s.tenants.Authenticate(r)
+	if err != nil {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="paracrashd"`)
+		writeError(w, http.StatusUnauthorized, "%v", err)
+		return nil, false
+	}
+	return tn, true
+}
+
+// visible reports whether the caller may see the job: everything in open
+// mode, only the tenant's own jobs otherwise. Hidden jobs 404 rather than
+// 403 so tenants cannot probe for other tenants' job IDs.
+func (s *Server) visible(tn *Tenant, j *Job) bool {
+	if s.tenants == nil {
+		return true
+	}
+	return tn != nil && j.Tenant == tn.Name
+}
+
 // healthResponse is the GET /healthz payload.
 type healthResponse struct {
 	Status  string `json:"status"` // "ok" or "draining"
@@ -91,6 +122,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
 	var req JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -98,11 +133,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode request: %v", err)
 		return
 	}
-	job, err := s.sched.Submit(req)
+	job, err := s.sched.SubmitTenant(req, tn)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, job)
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrRateLimited), errors.Is(err, ErrQuotaExceeded):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 	case errors.Is(err, ErrDraining):
@@ -113,30 +148,80 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
 	jobs := s.store.List()
 	out := make([]JobSummary, 0, len(jobs))
 	for i := range jobs {
-		out = append(out, jobs[i].Summary())
+		if s.visible(tn, &jobs[i]) {
+			out = append(out, jobs[i].Summary())
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	job, ok := s.store.Get(id)
+	tn, ok := s.authenticate(w, r)
 	if !ok {
+		return
+	}
+	id := r.PathValue("id")
+	job, found := s.store.Get(id)
+	if !found || !s.visible(tn, &job) {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
 }
 
+// tenantStatus is the GET /v1/tenant payload: the caller's configuration
+// plus live queue usage. Open-mode daemons report the implicit tenant.
+type tenantStatus struct {
+	Open       bool    `json:"open"`
+	Name       string  `json:"name,omitempty"`
+	Priority   string  `json:"priority,omitempty"`
+	MaxQueued  int     `json:"max_queued,omitempty"`
+	MaxRunning int     `json:"max_running,omitempty"`
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Queued     int     `json:"queued"`
+	Running    int     `json:"running"`
+}
+
+func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
+	st := tenantStatus{Open: s.tenants == nil}
+	name := ""
+	if tn != nil {
+		st.Name = tn.Name
+		st.Priority = tn.Priority
+		if st.Priority == "" {
+			st.Priority = PriorityNormal
+		}
+		st.MaxQueued = tn.MaxQueued
+		st.MaxRunning = tn.MaxRunning
+		st.RatePerSec = tn.RatePerSec
+		name = tn.Name
+	}
+	st.Queued = s.sched.QueuedFor(name)
+	st.Running = s.sched.RunningFor(name)
+	writeJSON(w, http.StatusOK, st)
+}
+
 // handleEvents streams a job's progress events as NDJSON: the retained
 // history first, then live events until the job finishes or the client
 // goes away. Completed jobs replay their history and close immediately.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.authenticate(w, r)
+	if !ok {
+		return
+	}
 	id := r.PathValue("id")
-	if _, ok := s.store.Get(id); !ok {
+	if job, found := s.store.Get(id); !found || !s.visible(tn, &job) {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}

@@ -1,0 +1,231 @@
+// Multi-tenancy: API keys, per-tenant quotas, submission rate limits and
+// priority classes. A daemon started without a tenant file runs open —
+// no authentication, one implicit tenant, today's behaviour exactly. With
+// tenants configured, every /v1 request must present a key (Authorization:
+// Bearer or X-API-Key), submissions pass the tenant's token-bucket rate
+// limit and queued-job quota, the scheduler's fair queue interleaves
+// tenants round-robin within priority classes, and each tenant sees only
+// its own jobs.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Admission errors introduced by multi-tenancy; the server maps both to
+// HTTP 429 (with ErrUnauthorized mapping to 401).
+var (
+	// ErrUnauthorized signals a missing or unknown API key.
+	ErrUnauthorized = errors.New("serve: missing or invalid API key")
+	// ErrRateLimited signals the tenant exhausted its submission tokens.
+	ErrRateLimited = errors.New("serve: tenant rate limit exceeded")
+	// ErrQuotaExceeded signals the tenant is at its queued-job quota.
+	ErrQuotaExceeded = errors.New("serve: tenant job quota exceeded")
+)
+
+// Priority classes, strongest first. The fair queue always serves a higher
+// class before a lower one; within a class, tenants interleave round-robin.
+const (
+	PriorityHigh   = "high"
+	PriorityNormal = "normal"
+	PriorityLow    = "low"
+)
+
+// priorityIndex maps a class name to its queue rank (0 strongest).
+func priorityIndex(p string) (int, error) {
+	switch p {
+	case PriorityHigh:
+		return 0, nil
+	case "", PriorityNormal:
+		return 1, nil
+	case PriorityLow:
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("unknown priority %q (want %s, %s or %s)", p, PriorityHigh, PriorityNormal, PriorityLow)
+	}
+}
+
+// Tenant is one tenant's static configuration.
+type Tenant struct {
+	// Name identifies the tenant in job records and metrics.
+	Name string `json:"name"`
+	// Key is the tenant's API key (Authorization: Bearer <key> or
+	// X-API-Key: <key>).
+	Key string `json:"key"`
+	// Priority is the tenant's scheduling class: high, normal (default)
+	// or low.
+	Priority string `json:"priority,omitempty"`
+	// MaxQueued caps the tenant's queued jobs (0 = only the global queue
+	// depth applies).
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxRunning caps the tenant's concurrently running jobs (0 = only the
+	// scheduler's concurrency applies).
+	MaxRunning int `json:"max_running,omitempty"`
+	// RatePerSec refills the tenant's submission token bucket (0 = no rate
+	// limit).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity (default max(1, ceil(RatePerSec))).
+	Burst int `json:"burst,omitempty"`
+}
+
+// burst resolves the bucket capacity.
+func (t Tenant) burst() float64 {
+	if t.Burst > 0 {
+		return float64(t.Burst)
+	}
+	if t.RatePerSec > 1 {
+		return t.RatePerSec
+	}
+	return 1
+}
+
+// tenantsFile is the on-disk tenant configuration.
+type tenantsFile struct {
+	Version int      `json:"version"`
+	Tenants []Tenant `json:"tenants"`
+}
+
+// TenantsVersion is the schema version of the tenant configuration file.
+const TenantsVersion = 1
+
+// tenantBucket is one tenant's live token bucket.
+type tenantBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Tenants is the authentication registry: static config plus the live rate
+// buckets. Safe for concurrent use.
+type Tenants struct {
+	byKey  map[string]*Tenant
+	byName map[string]*Tenant
+	order  []string // config order, for stable listings
+
+	mu      sync.Mutex
+	buckets map[string]*tenantBucket
+	now     func() time.Time // test clock
+}
+
+// NewTenants builds a registry from static configs, validating names, keys
+// and priorities.
+func NewTenants(list []Tenant) (*Tenants, error) {
+	if len(list) == 0 {
+		return nil, errors.New("serve: tenant list is empty")
+	}
+	t := &Tenants{
+		byKey:   map[string]*Tenant{},
+		byName:  map[string]*Tenant{},
+		buckets: map[string]*tenantBucket{},
+		now:     time.Now,
+	}
+	for i := range list {
+		tn := list[i]
+		if tn.Name == "" {
+			return nil, fmt.Errorf("serve: tenant %d has no name", i)
+		}
+		if len(tn.Key) < 8 {
+			return nil, fmt.Errorf("serve: tenant %q: key must be at least 8 characters", tn.Name)
+		}
+		if _, err := priorityIndex(tn.Priority); err != nil {
+			return nil, fmt.Errorf("serve: tenant %q: %v", tn.Name, err)
+		}
+		if tn.MaxQueued < 0 || tn.MaxRunning < 0 || tn.RatePerSec < 0 || tn.Burst < 0 {
+			return nil, fmt.Errorf("serve: tenant %q: quotas and rates must be >= 0", tn.Name)
+		}
+		if _, dup := t.byName[tn.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate tenant name %q", tn.Name)
+		}
+		if _, dup := t.byKey[tn.Key]; dup {
+			return nil, fmt.Errorf("serve: tenants %q and %q share an API key", t.byKey[tn.Key].Name, tn.Name)
+		}
+		cp := tn
+		t.byName[tn.Name] = &cp
+		t.byKey[tn.Key] = &cp
+		t.order = append(t.order, tn.Name)
+	}
+	return t, nil
+}
+
+// LoadTenants reads the tenant configuration file (see docs/OPERATIONS.md
+// for the format).
+func LoadTenants(path string) (*Tenants, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: tenants file: %w", err)
+	}
+	var f tenantsFile
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("serve: parse tenants file %s: %w", path, err)
+	}
+	if f.Version != TenantsVersion {
+		return nil, fmt.Errorf("serve: tenants file %s has version %d, want %d", path, f.Version, TenantsVersion)
+	}
+	return NewTenants(f.Tenants)
+}
+
+// Authenticate resolves the request's API key to a tenant. The key rides in
+// "Authorization: Bearer <key>" or "X-API-Key: <key>".
+func (t *Tenants) Authenticate(r *http.Request) (*Tenant, error) {
+	key := r.Header.Get("X-API-Key")
+	if auth := r.Header.Get("Authorization"); key == "" && auth != "" {
+		if rest, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			key = rest
+		}
+	}
+	if key == "" {
+		return nil, fmt.Errorf("%w: no key presented", ErrUnauthorized)
+	}
+	tn, ok := t.byKey[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown key", ErrUnauthorized)
+	}
+	return tn, nil
+}
+
+// ByName returns a tenant's config.
+func (t *Tenants) ByName(name string) (*Tenant, bool) {
+	tn, ok := t.byName[name]
+	return tn, ok
+}
+
+// Names returns the tenant names in configuration order.
+func (t *Tenants) Names() []string {
+	return append([]string(nil), t.order...)
+}
+
+// Allow consumes one submission token from the tenant's bucket, reporting
+// false when the tenant is over its rate. Tenants without a rate always
+// pass.
+func (t *Tenants) Allow(name string) bool {
+	tn, ok := t.byName[name]
+	if !ok || tn.RatePerSec <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	b, ok := t.buckets[name]
+	if !ok {
+		b = &tenantBucket{tokens: tn.burst(), last: now}
+		t.buckets[name] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * tn.RatePerSec
+	b.last = now
+	if max := tn.burst(); b.tokens > max {
+		b.tokens = max
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -48,9 +48,20 @@ type benchRecord struct {
 	Err              string  `json:"error"`
 }
 
+// fleetRecord mirrors the exps.FleetBenchRecord fields benchdiff compares
+// on: the cell identity (fleet shape) and the headline throughput.
+type fleetRecord struct {
+	Workers    int     `json:"workers"`
+	Tenants    int     `json:"tenants"`
+	Shards     int     `json:"shards"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	Err        string  `json:"error"`
+}
+
 // benchSummary mirrors the BENCH_*.json document envelope.
 type benchSummary struct {
 	Records []benchRecord `json:"records"`
+	Fleet   *fleetRecord  `json:"fleet"`
 }
 
 func main() {
@@ -96,12 +107,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	prev, err := load(prevPath)
+	prev, prevFleet, err := load(prevPath)
 	if err != nil {
 		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
 		return 2
 	}
-	cur, err := load(newPath)
+	cur, curFleet, err := load(newPath)
 	if err != nil {
 		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
 		return 2
@@ -178,6 +189,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "note: new cell %s\n", key)
 	}
 
+	// The fleet throughput cell. Tolerant of history: a baseline predating
+	// the cell, or a reshaped fleet (different workers/tenants/shards), is
+	// a note, never a violation — only a same-shape jobs/sec drop beyond
+	// the tolerance counts.
+	switch {
+	case prevFleet == nil && curFleet == nil:
+	case prevFleet == nil:
+		fmt.Fprintf(stdout, "note: new fleet cell (%dw/%dt/%ds, %.1f jobs/sec)\n",
+			curFleet.Workers, curFleet.Tenants, curFleet.Shards, curFleet.JobsPerSec)
+	case curFleet == nil:
+		if *gate {
+			report("fleet cell missing from the new run")
+		} else {
+			fmt.Fprintln(stdout, "note: fleet cell dropped from the trajectory")
+		}
+	case prevFleet.Err != "":
+	case curFleet.Err != "":
+		if *gate {
+			report("fleet cell now errors: %s", curFleet.Err)
+		}
+	case prevFleet.Workers != curFleet.Workers || prevFleet.Tenants != curFleet.Tenants || prevFleet.Shards != curFleet.Shards:
+		fmt.Fprintf(stdout, "note: fleet cell reshaped (%dw/%dt/%ds -> %dw/%dt/%ds), not compared\n",
+			prevFleet.Workers, prevFleet.Tenants, prevFleet.Shards,
+			curFleet.Workers, curFleet.Tenants, curFleet.Shards)
+	case prevFleet.JobsPerSec > 0:
+		rel := (curFleet.JobsPerSec - prevFleet.JobsPerSec) / prevFleet.JobsPerSec
+		if rel < -maxRegress {
+			report("fleet jobs_per_sec %.1f -> %.1f (%.0f%%)", prevFleet.JobsPerSec, curFleet.JobsPerSec, rel*100)
+		}
+	}
+
 	if violations == 0 {
 		fmt.Fprintln(stdout, "benchdiff: no cell regressed beyond the tolerance")
 		return 0
@@ -189,22 +231,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// load reads a BENCH_*.json and indexes its records by cell identity.
-func load(path string) (map[string]benchRecord, error) {
+// load reads a BENCH_*.json and indexes its records by cell identity; the
+// fleet cell (absent from older trajectory files) rides alongside.
+func load(path string) (map[string]benchRecord, *fleetRecord, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var sum benchSummary
 	if err := json.Unmarshal(raw, &sum); err != nil {
-		return nil, fmt.Errorf("parsing %s: %w", path, err)
+		return nil, nil, fmt.Errorf("parsing %s: %w", path, err)
 	}
 	out := make(map[string]benchRecord, len(sum.Records))
 	for _, r := range sum.Records {
 		key := fmt.Sprintf("%s/%s/%s/workers=%d/rep=%t/inc=%t", r.Program, r.FS, r.Mode, r.Workers, r.Representative, r.Incremental)
 		out[key] = r
 	}
-	return out, nil
+	return out, sum.Fleet, nil
 }
 
 // latestOther returns the lexically greatest BENCH_*.json in dir other than

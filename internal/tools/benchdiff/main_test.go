@@ -232,3 +232,73 @@ func TestNoBaselinePasses(t *testing.T) {
 		t.Fatalf("output missing no-baseline note:\n%s", out)
 	}
 }
+
+// writeSummaryFleet writes a synthetic BENCH_*.json carrying a fleet cell
+// alongside one engine record.
+func writeSummaryFleet(t *testing.T, dir, name, fleet string, records ...string) string {
+	t.Helper()
+	doc := `{"generated_at":"2026-01-01T00:00:00Z","records":[` + strings.Join(records, ",") + `],"fleet":` + fleet + `}`
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// fleetCell builds a synthetic fleet record fragment.
+func fleetCell(workers, tenants, shards int, jps float64) string {
+	return fmt.Sprintf(`{"workers":%d,"tenants":%d,"shards":%d,"jobs_per_sec":%g}`, workers, tenants, shards, jps)
+}
+
+func TestFleetCellGate(t *testing.T) {
+	rec := cell("ARVR", "beegfs", "brute-force", 1, 1000, 0.5)
+
+	t.Run("baseline without fleet cell passes", func(t *testing.T) {
+		dir := t.TempDir()
+		writeSummary(t, dir, "BENCH_0001.json", rec)
+		fresh := writeSummaryFleet(t, dir, "BENCH_0002.json", fleetCell(3, 2, 2, 50), rec)
+		out, code := execBenchdiff(t, "-gate", "-dir", dir, fresh)
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0\n%s", code, out)
+		}
+		if !strings.Contains(out, "new fleet cell") {
+			t.Fatalf("output missing new-fleet note:\n%s", out)
+		}
+	})
+
+	t.Run("fleet throughput regression fails the gate", func(t *testing.T) {
+		dir := t.TempDir()
+		writeSummaryFleet(t, dir, "BENCH_0001.json", fleetCell(3, 2, 2, 100), rec)
+		fresh := writeSummaryFleet(t, dir, "BENCH_0002.json", fleetCell(3, 2, 2, 40), rec)
+		out, code := execBenchdiff(t, "-gate", "-max-regress", "0.5", "-dir", dir, fresh)
+		if code != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", code, out)
+		}
+		if !strings.Contains(out, "fleet jobs_per_sec") {
+			t.Fatalf("output missing fleet violation:\n%s", out)
+		}
+	})
+
+	t.Run("reshaped fleet is not compared", func(t *testing.T) {
+		dir := t.TempDir()
+		writeSummaryFleet(t, dir, "BENCH_0001.json", fleetCell(3, 2, 2, 100), rec)
+		fresh := writeSummaryFleet(t, dir, "BENCH_0002.json", fleetCell(8, 4, 4, 10), rec)
+		out, code := execBenchdiff(t, "-gate", "-dir", dir, fresh)
+		if code != 0 {
+			t.Fatalf("exit = %d, want 0\n%s", code, out)
+		}
+		if !strings.Contains(out, "reshaped") {
+			t.Fatalf("output missing reshape note:\n%s", out)
+		}
+	})
+
+	t.Run("dropped fleet cell fails the gate", func(t *testing.T) {
+		dir := t.TempDir()
+		writeSummaryFleet(t, dir, "BENCH_0001.json", fleetCell(3, 2, 2, 100), rec)
+		fresh := writeSummary(t, dir, "BENCH_0002.json", rec)
+		out, code := execBenchdiff(t, "-gate", "-dir", dir, fresh)
+		if code != 1 {
+			t.Fatalf("exit = %d, want 1\n%s", code, out)
+		}
+	})
+}
