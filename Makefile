@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmtcheck doclint test race ci bench benchgate gobench experiments examples fuzz fuzz-smoke chaos representative incremental clean
+.PHONY: all build vet fmtcheck doclint persistlint test race ci bench benchgate gobench experiments examples fuzz fuzz-smoke chaos representative incremental selfcheck clean
 
 all: build vet test
 
@@ -28,6 +28,13 @@ doclint:
 	$(GO) run ./internal/tools/doclint .
 	$(GO) run ./internal/tools/routedoc .
 
+# Single-persistence-layer gate: daemon state packages must route every
+# durable write through internal/statefs (the crash-tested layer), never
+# raw os.Create/os.Rename/os.WriteFile/os.OpenFile/os.CreateTemp.
+persistlint:
+	$(GO) test ./internal/tools/persistlint/ -count=1
+	$(GO) run ./internal/tools/persistlint ./internal/serve ./internal/paracrash
+
 test:
 	$(GO) test ./...
 
@@ -35,7 +42,7 @@ race:
 	$(GO) test -race ./...
 
 # Everything a change must pass before it lands.
-ci: build vet fmtcheck doclint test race fuzz-smoke chaos representative incremental benchgate
+ci: build vet fmtcheck doclint persistlint test race fuzz-smoke chaos representative incremental selfcheck benchgate
 
 # Run the benchmark trajectory with observability enabled and write the
 # per-run summary (phase timings, counters, Stats) as BENCH_<stamp>.json,
@@ -118,6 +125,16 @@ chaos:
 	$(GO) test ./internal/paracrash/ -run 'TestChaosResumeDeterminism|TestFaultTransparency|TestHardFaults|TestRepresentativeChaosResume|TestRepresentativeQuarantine' -count=1 -v
 	$(GO) test ./internal/fuzzcamp/ -run 'TestCampaignHealsInjectedFaults|TestCampaignQuarantinesHardFaultedCells' -count=1
 	$(GO) test ./internal/obs/ ./internal/serve/ -run 'TestChaos' -count=1 -v
+
+# Self-check gate: the checker turned on itself. For every registered
+# statefs crash point, kill the daemon scenario exactly there, restart it
+# through fsck, and require that the crash fired (coverage), no
+# acknowledged job was lost, no verdict was duplicated, and the recovered
+# report is byte-identical to an uncrashed run's. The statefs unit tests
+# ride along: they pin the post-crash disk state of every stage.
+selfcheck:
+	$(GO) test ./internal/statefs/ -count=1
+	$(GO) test ./internal/serve/ -run 'TestSelfCheck' -count=1 -v
 
 clean:
 	$(GO) clean ./...

@@ -16,6 +16,15 @@
 // 503 while in-flight jobs run to completion (bounded by -drain-timeout,
 // after which they are cancelled), then the process exits.
 //
+// Every start runs a repairing fsck over the results directory before the
+// store loads, so an unclean death (the very failure this tool studies)
+// never leaves the daemon serving torn state: reconstructible debris is
+// repaired, anything else is quarantined — reflected on /healthz, failed
+// on /readyz. The same check runs standalone:
+//
+//	paracrashd -fsck -results ./results           # read-only scan, JSON report
+//	paracrashd -fsck -repair -results ./results   # apply repairs/quarantines
+//
 // Fleet mode splits the daemon into roles sharing one results directory
 // (any shared file system works — no RPC fabric needed):
 //
@@ -33,6 +42,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -43,6 +53,7 @@ import (
 
 	"paracrash/internal/obs"
 	"paracrash/internal/serve"
+	"paracrash/internal/statefs"
 )
 
 func main() {
@@ -66,6 +77,9 @@ func main() {
 		workerID  = flag.String("worker-id", "", "worker: identity in leases and shard results (default worker-<pid>)")
 
 		tenantsPath = flag.String("tenants", "", "tenant configuration file (JSON); arms API keys, quotas, rate limits and priority scheduling")
+
+		fsckOnly = flag.Bool("fsck", false, "check the -results state directory for crash damage, print the JSON report and exit (0 clean, 1 problems); no daemon is started")
+		repair   = flag.Bool("repair", false, "with -fsck: apply repairs and quarantines instead of a read-only scan")
 	)
 	var sinkSpecs obs.SinkSpecList
 	flag.Var(&sinkSpecs, "sink", "attach a telemetry sink (repeatable): stdout, stderr, jsonl:PATH, push:URL")
@@ -90,6 +104,31 @@ func main() {
 	if *leaseTTL <= 0 || *heartbeat < 0 || *fleetPoll < 0 {
 		fatalf("-lease-ttl must be > 0; -heartbeat and -fleet-poll must be >= 0")
 	}
+	if *repair && !*fsckOnly {
+		fatalf("-repair only applies with -fsck (the daemon always repairs on startup)")
+	}
+
+	// One-shot fsck mode: scan (and with -repair, fix) the state directory,
+	// print the machine-readable report and exit without starting a daemon.
+	if *fsckOnly {
+		if *resultsDir == "" {
+			fatalf("-fsck requires -results (the state directory to check)")
+		}
+		rep, err := serve.Fsck(*resultsDir, serve.FsckOptions{Repair: *repair})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(string(data))
+		fmt.Fprintln(os.Stderr, "paracrashd:", rep.Summary())
+		if !rep.Clean {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *role == "worker" {
 		runWorker(*resultsDir, *workerID, *leaseTTL, *heartbeat, *fleetPoll, sinkSpecs, *sinkInterval)
@@ -107,6 +146,26 @@ func main() {
 			fatalf("%v", terr)
 		}
 		fmt.Fprintf(os.Stderr, "paracrashd: multi-tenancy on (%d tenants)\n", len(tenants.Names()))
+	}
+
+	run := obs.NewRun()
+	statefs.SetObs(run)
+	run.Gauge("statefs/crash-points").Set(int64(len(statefs.CrashPoints())))
+
+	// Recover the state directory before the store reads it: remove or
+	// quarantine whatever an unclean death left behind, so the daemon never
+	// builds its world view on torn records. Quarantines degrade /readyz.
+	var fsckReport *serve.FsckReport
+	if *resultsDir != "" {
+		var ferr error
+		fsckReport, ferr = serve.Fsck(*resultsDir, serve.FsckOptions{Repair: true})
+		if ferr != nil {
+			fatalf("startup fsck: %v", ferr)
+		}
+		fmt.Fprintln(os.Stderr, "paracrashd:", fsckReport.Summary())
+		run.Counter("fsck/problems").Add(int64(len(fsckReport.Problems)))
+		run.Counter("fsck/repaired").Add(int64(fsckReport.Repaired))
+		run.Counter("fsck/quarantined").Add(int64(fsckReport.Quarantined))
 	}
 
 	store, warns := serve.OpenStore(*resultsDir)
@@ -129,7 +188,6 @@ func main() {
 		cfg.Fleet = &serve.FleetConfig{Shards: *shards, MaxShards: *maxShards, Poll: *fleetPoll}
 	}
 
-	run := obs.NewRun()
 	sched := serve.NewScheduler(cfg, store, run)
 
 	// Telemetry fan-out: the scheduler's router already aggregates the
@@ -162,7 +220,9 @@ func main() {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(sched, store, run)}
+	api := serve.NewServer(sched, store, run)
+	api.SetFsck(fsckReport)
+	srv := &http.Server{Addr: *addr, Handler: api}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
@@ -199,6 +259,7 @@ func runWorker(dir, id string, leaseTTL, heartbeat, poll time.Duration, sinkSpec
 		fatalf("-role worker requires -results (the shared fleet directory)")
 	}
 	run := obs.NewRun()
+	statefs.SetObs(run)
 	w, err := serve.NewFleetWorker(serve.FleetWorkerConfig{
 		Dir: dir, ID: id,
 		LeaseTTL: leaseTTL, Heartbeat: heartbeat, Poll: poll,

@@ -12,21 +12,35 @@
 // expected artifact of dying mid-write — is likewise dropped with a
 // warning; everything before it is kept.
 //
-// Durability uses the classic temp-file + rename + fsync discipline this
-// project tests other systems for: each flush rewrites the whole journal to
-// a temp file, fsyncs it, renames it over the old journal and fsyncs the
-// directory, so the file on disk is always a complete prefix-consistent
-// journal. Quarantined (skipped) verdicts are never journaled: a resumed
-// run re-attempts them, since the fault that poisoned them may be gone.
+// Durability goes through internal/statefs, the audited persistence layer
+// crash-tested by `make selfcheck`: the first flush (or any flush after a
+// resume discarded incompatible or damaged content) rewrites the whole
+// journal atomically (temp + fsync + rename + directory fsync), and every
+// later flush appends only the new records with an fsync before they are
+// acknowledged — O(new) instead of O(all), and a record is never treated
+// as checkpointed before it is durable. A crash mid-append leaves a torn
+// tail record, which resume drops (with everything before it kept) and the
+// next flush rewrites away. Quarantined (skipped) verdicts are never
+// journaled: a resumed run re-attempts them, since the fault that poisoned
+// them may be gone.
 package paracrash
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sync"
+
+	"paracrash/internal/statefs"
+)
+
+// The journal's statefs sites: the atomic full rewrite (journal creation
+// and post-damage cleanup) and the incremental fsynced append.
+var (
+	siteCkptRewrite = statefs.Register("core/ckpt-rewrite", statefs.OpAtomic)
+	siteCkptAppend  = statefs.Register("core/ckpt-append", statefs.OpJournal)
 )
 
 // checkpointVersion is the journal format version; bump on any change to
@@ -87,6 +101,10 @@ type Checkpoint struct {
 	resumed  int
 	warnings []string
 	dirty    int
+	// persisted counts the records already durable in the file; a flush
+	// appends order[persisted:] only. 0 means the next flush must rewrite
+	// the whole journal (fresh file, or resume discarded its content).
+	persisted int
 }
 
 // OpenCheckpoint binds a checkpoint journal to path. The file is not read
@@ -127,6 +145,7 @@ func (c *Checkpoint) resume(config string) (map[string]checkResult, error) {
 	c.resumed = 0
 	c.warnings = nil
 	c.dirty = 0
+	c.persisted = 0
 
 	f, err := os.Open(c.path)
 	if err != nil {
@@ -183,6 +202,12 @@ func (c *Checkpoint) resume(config string) (map[string]checkResult, error) {
 		return nil, fmt.Errorf("reading checkpoint %s: %w", c.path, err)
 	}
 	c.resumed = len(out)
+	// A clean load means the file is exactly header + records and appends
+	// may continue it; any warning (torn tail, duplicates, incompatible
+	// header) leaves persisted at 0 so the next flush rewrites it clean.
+	if len(c.warnings) == 0 {
+		c.persisted = len(c.order)
+	}
 	return out, nil
 }
 
@@ -232,56 +257,38 @@ func (c *Checkpoint) Flush() error {
 	return c.flushLocked()
 }
 
-// flushLocked rewrites the whole journal atomically: temp file in the same
-// directory, fsync, rename over the journal, fsync the directory.
+// flushLocked makes the journal durable: a full atomic rewrite (header +
+// every record) when the file does not yet reflect a clean prefix of the
+// run, an fsynced append of just the new records otherwise. Either way no
+// record counts as flushed until it is on disk.
 func (c *Checkpoint) flushLocked() error {
-	dir := filepath.Dir(c.path)
-	tmp, err := os.CreateTemp(dir, ".ckpt-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	w := bufio.NewWriter(tmp)
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(c.header); err != nil {
-		tmp.Close()
-		return err
-	}
-	for _, key := range c.order {
-		if err := enc.Encode(c.records[key]); err != nil {
-			tmp.Close()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if c.persisted == 0 {
+		if err := enc.Encode(c.header); err != nil {
+			return err
+		}
+		for _, key := range c.order {
+			if err := enc.Encode(c.records[key]); err != nil {
+				return err
+			}
+		}
+		if err := statefs.WriteBytes(siteCkptRewrite, c.path, buf.Bytes()); err != nil {
+			return err
+		}
+	} else if len(c.order) > c.persisted {
+		for _, key := range c.order[c.persisted:] {
+			if err := enc.Encode(c.records[key]); err != nil {
+				return err
+			}
+		}
+		if err := statefs.Append(siteCkptAppend, c.path, buf.Bytes()); err != nil {
 			return err
 		}
 	}
-	if err := w.Flush(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), c.path); err != nil {
-		return err
-	}
-	if err := syncDir(dir); err != nil {
-		return err
-	}
+	c.persisted = len(c.order)
 	c.dirty = 0
 	return nil
-}
-
-// syncDir fsyncs a directory so a just-renamed file's dentry is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }
 
 // checkpointConfig fingerprints every option that influences crash-state

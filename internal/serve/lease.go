@@ -23,6 +23,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"paracrash/internal/statefs"
 )
 
 // ErrLeaseHeld is returned by Claim when another worker holds an
@@ -87,7 +89,7 @@ func (d *LeaseDir) Claim(task, owner string, ttl time.Duration) (*Lease, error) 
 		// Already ours: refresh the deadline (idempotent claim after a
 		// worker restart that kept its ID).
 		cur.Expires = now.Add(ttl)
-		if err := atomicWriteJSON(path, cur); err != nil {
+		if err := d.rewrite(path, cur); err != nil {
 			return nil, err
 		}
 		return &cur, nil
@@ -129,7 +131,7 @@ func (d *LeaseDir) Renew(l *Lease, ttl time.Duration) error {
 		return fmt.Errorf("%w: %s is owned by %s (epoch %d)", ErrLeaseLost, l.Task, cur.Owner, cur.Epoch)
 	}
 	l.Expires = d.now().Add(ttl)
-	return atomicWriteJSON(path, *l)
+	return d.rewrite(path, *l)
 }
 
 // Release drops the lease so the task stops looking claimed. Releasing a
@@ -195,66 +197,24 @@ func (d *LeaseDir) read(path string) (Lease, error) {
 	return l, nil
 }
 
-// create writes a brand-new lease file with O_EXCL, the cross-process
-// mutual-exclusion primitive: exactly one concurrent claimant succeeds.
+// create writes a brand-new lease file through the statefs O_EXCL
+// discipline, the cross-process mutual-exclusion primitive: exactly one
+// concurrent claimant succeeds, and the winning claim is fsynced along
+// with its directory entry before the claimant proceeds (the missing
+// parent-directory fsync here was one of the durability holes the statefs
+// migration closed).
 func (d *LeaseDir) create(path string, l Lease) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
-	if err != nil {
-		if os.IsExist(err) {
-			return fmt.Errorf("%w: lost the claim race for %s", ErrLeaseHeld, l.Task)
-		}
-		return err
+	err := statefs.CreateExclusiveJSON(siteLeaseCreate, path, l)
+	if err != nil && os.IsExist(err) {
+		return fmt.Errorf("%w: lost the claim race for %s", ErrLeaseHeld, l.Task)
 	}
-	data, err := json.Marshal(l)
-	if err != nil {
-		f.Close()
-		os.Remove(path)
-		return err
-	}
-	if _, err := f.Write(append(data, '\n')); err != nil {
-		f.Close()
-		os.Remove(path)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(path)
-		return err
-	}
-	return f.Close()
+	return err
 }
 
-// atomicWriteJSON writes v to path with the temp-file + fsync + rename +
-// dir-fsync discipline every persistent record in this package uses.
-func atomicWriteJSON(path string, v any) error {
-	data, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(append(data, '\n')); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return syncStoreDir(filepath.Dir(path))
+// rewrite replaces a held lease in place (renewal, idempotent re-claim)
+// through the statefs atomic discipline.
+func (d *LeaseDir) rewrite(path string, l Lease) error {
+	return statefs.WriteJSON(siteLeaseRenew, path, l)
 }
 
 // leaseTaskForShard names the lease protecting one shard of one job.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 
 	"paracrash/internal/obs"
 )
@@ -17,6 +18,9 @@ type Server struct {
 	run     *obs.Run // daemon-level run, exposed at /debug/obs
 	tenants *Tenants // from the scheduler config; nil = open mode
 	mux     *http.ServeMux
+
+	mu   sync.RWMutex
+	fsck *FsckReport // startup fsck report; nil until SetFsck
 }
 
 // NewServer wires the API routes. run (nilable) is the daemon-level obs
@@ -26,6 +30,7 @@ type Server struct {
 func NewServer(sched *Scheduler, store *Store, run *obs.Run) *Server {
 	s := &Server{sched: sched, store: store, run: run, tenants: sched.Tenants(), mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
@@ -95,16 +100,55 @@ func (s *Server) visible(tn *Tenant, j *Job) bool {
 	return tn != nil && j.Tenant == tn.Name
 }
 
+// SetFsck records the startup fsck report so /healthz summarises it and
+// /readyz fails while quarantined (unreconstructible) records exist.
+func (s *Server) SetFsck(r *FsckReport) {
+	s.mu.Lock()
+	s.fsck = r
+	s.mu.Unlock()
+}
+
+// fsckReport returns the report recorded by SetFsck (nil before it).
+func (s *Server) fsckReport() *FsckReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fsck
+}
+
+// fsckHealth is the /healthz projection of the startup fsck report.
+type fsckHealth struct {
+	Problems    int  `json:"problems"`
+	Repaired    int  `json:"repaired"`
+	Quarantined int  `json:"quarantined"`
+	Clean       bool `json:"clean"`
+}
+
 // healthResponse is the GET /healthz payload.
 type healthResponse struct {
-	Status  string `json:"status"` // "ok" or "draining"
+	// Status is "ok", "degraded" (startup fsck quarantined records) or
+	// "draining" (shutdown in progress; draining wins over degraded).
+	Status  string `json:"status"`
 	Queued  int    `json:"queued"`
 	Running int    `json:"running"`
 	Done    int    `json:"done"`
+	// Fsck summarises the startup state-directory check; absent when the
+	// daemon runs memory-only or predates SetFsck.
+	Fsck *fsckHealth `json:"fsck,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := healthResponse{Status: "ok"}
+	if rep := s.fsckReport(); rep != nil {
+		resp.Fsck = &fsckHealth{
+			Problems:    len(rep.Problems),
+			Repaired:    rep.Repaired,
+			Quarantined: rep.Quarantined,
+			Clean:       rep.Clean,
+		}
+		if rep.Degraded() {
+			resp.Status = "degraded"
+		}
+	}
 	if s.sched.Draining() {
 		resp.Status = "draining"
 	}
@@ -119,6 +163,30 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// readyResponse is the GET /readyz payload.
+type readyResponse struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleReady is the load-balancer gate: 200 only when the daemon is
+// accepting work. Draining daemons and daemons whose startup fsck had to
+// quarantine state (they run, but something was lost) answer 503 so
+// orchestrators route around them while /healthz still shows the details.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.sched.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Reason: "draining"})
+		return
+	}
+	if rep := s.fsckReport(); rep != nil && rep.Degraded() {
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{
+			Reason: fmt.Sprintf("degraded: startup fsck quarantined %d record(s); see /healthz and the quarantine directory", rep.Quarantined),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyResponse{Ready: true})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

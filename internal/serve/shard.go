@@ -29,6 +29,7 @@ import (
 	"paracrash/internal/faultinject"
 	"paracrash/internal/obs"
 	core "paracrash/internal/paracrash"
+	"paracrash/internal/statefs"
 )
 
 // FleetVersion is the schema version of shard task/result records.
@@ -76,7 +77,7 @@ func shardCheckpointPath(dir, job string, index int) string {
 // WriteShardTask persists one task record.
 func WriteShardTask(dir string, t ShardTask) error {
 	t.Version = FleetVersion
-	return atomicWriteJSON(shardTaskPath(dir, t.Job, t.Shard.Index), t)
+	return statefs.WriteJSON(siteShardTask, shardTaskPath(dir, t.Job, t.Shard.Index), t)
 }
 
 // ListShardTasks returns every task record in the directory, sorted by job
@@ -111,7 +112,7 @@ func ListShardTasks(dir string) ([]ShardTask, error) {
 // WriteShardResult persists one result record.
 func WriteShardResult(dir string, r ShardResult) error {
 	r.Version = FleetVersion
-	return atomicWriteJSON(shardResultPath(dir, r.Job, r.Shard.Index), r)
+	return statefs.WriteJSON(siteShardResult, shardResultPath(dir, r.Job, r.Shard.Index), r)
 }
 
 // ReadShardResult loads one shard's result; ok=false when none exists yet.

@@ -1,0 +1,32 @@
+package serve
+
+import "paracrash/internal/statefs"
+
+// The daemon's durable-write catalogue: every file the service layer
+// persists goes through one of these statefs sites, so each write carries
+// the audited fsync discipline and a set of named crash points the
+// selfcheck harness kills the daemon at (see internal/statefs and
+// DESIGN.md §11). internal/tools/persistlint fails the build if a direct
+// os.Create/os.Rename/os.WriteFile/os.OpenFile sneaks back into this
+// package.
+var (
+	// siteJobRecord persists job-<id>.json store records (store.go).
+	siteJobRecord = statefs.Register("serve/job-record", statefs.OpAtomic)
+	// siteLeaseCreate O_EXCL-creates lease-<task>.json claims (lease.go).
+	siteLeaseCreate = statefs.Register("serve/lease-create", statefs.OpExclusive)
+	// siteLeaseRenew rewrites a held lease on renewal or idempotent
+	// re-claim (lease.go).
+	siteLeaseRenew = statefs.Register("serve/lease-renew", statefs.OpAtomic)
+	// siteShardTask persists task-<job>-shard-<i>.json fleet tasks
+	// (shard.go).
+	siteShardTask = statefs.Register("serve/shard-task", statefs.OpAtomic)
+	// siteShardResult persists result-<job>-shard-<i>.json fleet results
+	// (shard.go).
+	siteShardResult = statefs.Register("serve/shard-result", statefs.OpAtomic)
+	// siteFsckQuarantine moves damaged records into the quarantine
+	// directory (fsck.go). Recovery-path: only runs when there is damage.
+	siteFsckQuarantine = statefs.RegisterRecovery("serve/fsck-quarantine", statefs.OpRename)
+	// siteFsckRewrite rewrites a journal fsck repaired in place — torn
+	// tail truncated or duplicate records deduplicated (fsck.go).
+	siteFsckRewrite = statefs.RegisterRecovery("serve/fsck-rewrite", statefs.OpAtomic)
+)

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"paracrash/internal/statefs"
 )
 
 // Store indexes every job the daemon knows about. Every job — queued,
@@ -152,53 +154,16 @@ func (s *Store) Update(id string, fn func(*Job)) error {
 	return s.persist(&cp)
 }
 
-// persist writes one job record atomically and durably: temp file in the
-// results directory, fsync, rename over the record, fsync the directory —
-// the discipline whose absence this project exists to detect.
+// persist writes one job record through the statefs atomic discipline
+// (temp + fsync + rename + directory fsync) — the discipline whose absence
+// this project exists to detect, implemented exactly once in
+// internal/statefs and crash-tested by `make selfcheck`.
 func (s *Store) persist(j *Job) error {
-	data, err := json.MarshalIndent(j, "", "  ")
-	if err != nil {
-		return fmt.Errorf("serve: encode job %s: %w", j.ID, err)
-	}
 	path := filepath.Join(s.dir, "job-"+sanitizeID(j.ID)+".json")
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("serve: write job %s: %w", j.ID, err)
-	}
-	if _, err := f.Write(append(data, '\n')); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("serve: write job %s: %w", j.ID, err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("serve: sync job %s: %w", j.ID, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("serve: close job %s: %w", j.ID, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("serve: commit job %s: %w", j.ID, err)
-	}
-	if err := syncStoreDir(s.dir); err != nil {
-		return fmt.Errorf("serve: sync results dir: %w", err)
+	if err := statefs.WriteJSON(siteJobRecord, path, j); err != nil {
+		return fmt.Errorf("serve: persist job %s: %w", j.ID, err)
 	}
 	return nil
-}
-
-// syncStoreDir fsyncs the results directory so a just-renamed record's
-// dentry is durable.
-func syncStoreDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }
 
 // sanitizeID keeps persisted file names flat even if an ID were ever

@@ -1,0 +1,115 @@
+// Command persistlint enforces the single-persistence-layer rule: daemon
+// state packages must route every durable write through internal/statefs
+// (the audited temp+fsync+rename / O_EXCL / fsynced-append layer that
+// `make selfcheck` crash-tests), never through raw os write calls whose
+// crash-consistency nobody proved.
+//
+// It walks the non-test Go files of the package directories given as
+// arguments and fails (exit 1, one line per offence) on calls to
+// os.Create, os.CreateTemp, os.OpenFile, os.Rename or os.WriteFile.
+// Read-side and namespace calls (os.Open, os.ReadFile, os.ReadDir,
+// os.Stat, os.Remove, os.MkdirAll) stay allowed: reads need no write
+// discipline, and removals are idempotent under crashes.
+//
+// Usage:
+//
+//	go run ./internal/tools/persistlint ./internal/serve
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// banned maps the forbidden os functions to the statefs replacement the
+// diagnostic suggests.
+var banned = map[string]string{
+	"Create":     "statefs.WriteBytes / statefs.WriteJSON (atomic replace)",
+	"CreateTemp": "statefs.WriteBytes (it owns the temp file)",
+	"OpenFile":   "statefs.CreateExclusive (O_EXCL) or statefs.Append (journal)",
+	"Rename":     "statefs.Rename (directory-fsynced)",
+	"WriteFile":  "statefs.WriteBytes / statefs.WriteJSON (atomic replace)",
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"./internal/serve"}
+	}
+	var offences []string
+	for _, dir := range dirs {
+		found, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "persistlint: %v\n", err)
+			os.Exit(2)
+		}
+		offences = append(offences, found...)
+	}
+	if len(offences) > 0 {
+		sort.Strings(offences)
+		for _, o := range offences {
+			fmt.Fprintln(os.Stderr, o)
+		}
+		fmt.Fprintf(os.Stderr, "persistlint: %d raw os write call(s) in audited packages; route them through internal/statefs\n", len(offences))
+		os.Exit(1)
+	}
+}
+
+// lintDir scans one package directory's non-test files for banned calls.
+func lintDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var offences []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		// Only flag selectors on the real "os" package: a file that renames
+		// the import (or defines a local identifier `os`) is out of scope
+		// for this textual check and none of the audited packages do either.
+		if !importsOS(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok || ident.Name != "os" {
+				return true
+			}
+			if fix, bad := banned[sel.Sel.Name]; bad {
+				pos := fset.Position(sel.Pos())
+				offences = append(offences, fmt.Sprintf("%s: os.%s bypasses the statefs persistence layer; use %s", pos, sel.Sel.Name, fix))
+			}
+			return true
+		})
+	}
+	return offences, nil
+}
+
+// importsOS reports whether the file imports "os" under its own name.
+func importsOS(file *ast.File) bool {
+	for _, imp := range file.Imports {
+		if imp.Path.Value == `"os"` && imp.Name == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLintDir pins the linter's judgement: raw os write calls in non-test
+// files are offences, reads and removals are not, and _test.go files are
+// out of scope entirely.
+func TestLintDir(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "good.go", `package p
+
+import "os"
+
+func read(p string) ([]byte, error) { return os.ReadFile(p) }
+func drop(p string) error           { return os.Remove(p) }
+func mk(p string) error             { return os.MkdirAll(p, 0o755) }
+`)
+	write(t, dir, "bad.go", `package p
+
+import "os"
+
+func save(p string, b []byte) error {
+	if err := os.WriteFile(p+".tmp", b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(p+".tmp", p)
+}
+`)
+	write(t, dir, "bad_test.go", `package p
+
+import "os"
+
+func helper(p string) { _ = os.WriteFile(p, nil, 0o644) }
+`)
+
+	offences, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offences) != 2 {
+		t.Fatalf("offences = %v, want exactly the WriteFile and Rename in bad.go", offences)
+	}
+	for _, o := range offences {
+		if !strings.Contains(o, "bad.go") || !strings.Contains(o, "statefs") {
+			t.Errorf("offence %q does not point at bad.go with a statefs suggestion", o)
+		}
+	}
+}
+
+// TestLintDirRenamedImport: a file importing os under another name is out
+// of the textual check's scope rather than a false positive or a crash.
+func TestLintDirRenamedImport(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "renamed.go", `package p
+
+import stdos "os"
+
+func save(p string, b []byte) error { return stdos.WriteFile(p, b, 0o644) }
+`)
+	offences, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offences) != 0 {
+		t.Fatalf("offences = %v, want none for a renamed import", offences)
+	}
+}
